@@ -1,0 +1,80 @@
+//! Criterion benches for the §5 application algorithms, including the
+//! strategy ablation: how much *compute* the RTT-aware deanonymization
+//! strategies trade for their probe savings.
+
+use analysis::{CircuitLengthAnalysis, DeanonSimulator, Strategy, TivReport};
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ting::RttMatrix;
+
+/// A synthetic 50-node all-pairs matrix with geographic structure.
+fn matrix() -> RttMatrix {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let nodes: Vec<NodeId> = (0..50).map(NodeId).collect();
+    let pos: Vec<(f64, f64)> = (0..50)
+        .map(|_| (rng.gen_range(0.0..300.0), rng.gen_range(0.0..120.0)))
+        .collect();
+    let mut m = RttMatrix::new(nodes.clone());
+    for i in 0..50 {
+        for j in (i + 1)..50 {
+            let d = ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt();
+            m.set(nodes[i], nodes[j], d + rng.gen_range(3.0..25.0));
+        }
+    }
+    m
+}
+
+fn bench_deanon(c: &mut Criterion) {
+    let m = matrix();
+    let sim = DeanonSimulator::new(&m);
+    let mut g = c.benchmark_group("deanon");
+    for (name, strategy) in [
+        ("rtt_unaware", Strategy::RttUnaware),
+        ("ignore_too_large", Strategy::IgnoreTooLarge),
+        ("informed", Strategy::Informed),
+    ] {
+        g.bench_function(name, |b| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| sim.run_once(strategy, &mut rng))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tiv(c: &mut Criterion) {
+    let m = matrix();
+    c.bench_function("tiv/analyze_50_nodes", |b| {
+        b.iter(|| TivReport::analyze(&m))
+    });
+}
+
+fn bench_circuits(c: &mut Criterion) {
+    let m = matrix();
+    let mut g = c.benchmark_group("circuits");
+    g.sample_size(10);
+    g.bench_function("lengths_3_to_10_1k_samples", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| CircuitLengthAnalysis::run(&m, 3..=10, 1000, 2.5, &mut rng))
+    });
+    g.finish();
+}
+
+fn bench_matrix_io(c: &mut Criterion) {
+    let m = matrix();
+    let tsv = m.to_tsv();
+    c.bench_function("matrix/to_tsv", |b| b.iter(|| m.to_tsv()));
+    c.bench_function("matrix/from_tsv", |b| {
+        b.iter(|| RttMatrix::from_tsv(&tsv).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_deanon,
+    bench_tiv,
+    bench_circuits,
+    bench_matrix_io
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion benches for the crypto substrate.
+//!
+//! Relay forwarding cost is dominated by symmetric crypto (§3.2), so
+//! these numbers bound how fast a simulated (or real) relay can turn
+//! cells around: SHA-256 digesting, ChaCha20 on cell-sized payloads,
+//! X25519/ntor handshakes, and full onion-layer processing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use onion_crypto::{
+    client_handshake_finish, client_handshake_start, server_handshake, sha256, ChaCha20, KeyPair,
+};
+use tor_protocol::{ClientCrypto, RelayCell, RelayCmd, RelayCrypto, RelayCryptoOutcome};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 509, 4096] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(std::hint::black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chacha20(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chacha20");
+    let key = [7u8; 32];
+    let nonce = [3u8; 12];
+    for size in [509usize, 4096] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            let mut cipher = ChaCha20::new(&key, &nonce, 0);
+            let mut buf = vec![0u8; size];
+            b.iter(|| cipher.apply_keystream(std::hint::black_box(&mut buf)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_x25519(c: &mut Criterion) {
+    c.bench_function("x25519/scalar_mult", |b| {
+        let kp = KeyPair::from_secret([5u8; 32]);
+        let peer = KeyPair::from_secret([9u8; 32]);
+        b.iter(|| onion_crypto::x25519(std::hint::black_box(&kp.secret), &peer.public))
+    });
+
+    c.bench_function("ntor/full_handshake", |b| {
+        let identity = KeyPair::from_secret([1u8; 32]);
+        b.iter(|| {
+            let (state, x) =
+                client_handshake_start(KeyPair::from_secret([2u8; 32]), identity.public);
+            let (reply, _) = server_handshake(&identity, KeyPair::from_secret([3u8; 32]), &x);
+            client_handshake_finish(&state, &reply).unwrap()
+        })
+    });
+}
+
+fn circuit(n: usize) -> (ClientCrypto, Vec<RelayCrypto>) {
+    let mut client = ClientCrypto::new();
+    let mut relays = Vec::new();
+    for i in 0..n {
+        let identity = KeyPair::from_secret([(i as u8) + 1; 32]);
+        let (state, x) =
+            client_handshake_start(KeyPair::from_secret([(i as u8) + 100; 32]), identity.public);
+        let (reply, server_keys) =
+            server_handshake(&identity, KeyPair::from_secret([(i as u8) + 200; 32]), &x);
+        let client_keys = client_handshake_finish(&state, &reply).unwrap();
+        client.add_hop(&client_keys);
+        relays.push(RelayCrypto::new(&server_keys));
+    }
+    (client, relays)
+}
+
+fn bench_onion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("onion");
+    // Client-side onion wrap for a 3-hop circuit (3 cipher passes).
+    g.bench_function("client_encrypt_3hop", |b| {
+        let (mut client, _) = circuit(3);
+        let rc = RelayCell::new(RelayCmd::Data, 1, vec![0u8; 64]);
+        b.iter(|| client.encrypt_forward(2, std::hint::black_box(&rc)))
+    });
+    // One relay's per-cell work: strip a layer + recognition attempt.
+    g.bench_function("relay_process_forward", |b| {
+        let (mut client, mut relays) = circuit(3);
+        let rc = RelayCell::new(RelayCmd::Data, 1, vec![0u8; 64]);
+        // Pre-produce a batch of cells addressed to the exit so the
+        // first relay only ever forwards (steady-state work).
+        let cells: Vec<Vec<u8>> = (0..4096).map(|_| client.encrypt_forward(2, &rc)).collect();
+        let mut idx = 0;
+        b.iter(|| {
+            let out = relays[0].process_forward(&cells[idx % cells.len()]);
+            idx += 1;
+            match out {
+                RelayCryptoOutcome::Forward(p) => p.len(),
+                RelayCryptoOutcome::Recognized(_) => 0,
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_chacha20,
+    bench_x25519,
+    bench_onion
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches for the event engine and the measurement path.
+//!
+//! These time the simulator operations the figure binaries execute
+//! millions of times: network construction, circuit build, a single
+//! echo probe, and a full Ting pair measurement.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ting::{Ting, TingConfig};
+use tor_sim::TorNetworkBuilder;
+
+fn bench_network_build(c: &mut Criterion) {
+    c.bench_function("netbuild/testbed_31", |b| {
+        b.iter(|| TorNetworkBuilder::testbed(7).build())
+    });
+    c.bench_function("netbuild/live_150", |b| {
+        b.iter(|| TorNetworkBuilder::live(7, 150).build())
+    });
+}
+
+fn bench_circuit_build(c: &mut Criterion) {
+    c.bench_function("circuit/build_4hop", |b| {
+        b.iter_batched(
+            || TorNetworkBuilder::testbed(7).build(),
+            |mut net| {
+                let (x, y) = (net.relays[3], net.relays[17]);
+                let path = vec![net.local_w, x, y, net.local_z];
+                net.controller
+                    .build_and_wait(&mut net.sim, path)
+                    .expect("built")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_echo_probe(c: &mut Criterion) {
+    // Steady-state echo probes through an established 4-hop circuit —
+    // the inner loop of every Ting measurement.
+    let mut net = TorNetworkBuilder::testbed(7).build();
+    let (x, y) = (net.relays[3], net.relays[17]);
+    let circuit = net
+        .controller
+        .build_and_wait(&mut net.sim, vec![net.local_w, x, y, net.local_z])
+        .expect("circuit");
+    let stream = net
+        .controller
+        .open_stream_and_wait(&mut net.sim, circuit, net.echo_server)
+        .expect("stream");
+    c.bench_function("probe/echo_roundtrip_4hop", |b| {
+        b.iter(|| {
+            net.controller
+                .echo_roundtrip_ms(&mut net.sim, stream, vec![0u8; 8])
+                .expect("echo")
+        })
+    });
+}
+
+fn bench_full_measurement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ting");
+    g.sample_size(10);
+    g.bench_function("measure_pair_30samples", |b| {
+        b.iter_batched(
+            || TorNetworkBuilder::testbed(7).build(),
+            |mut net| {
+                let (x, y) = (net.relays[5], net.relays[25]);
+                Ting::new(TingConfig::with_samples(30))
+                    .measure_pair(&mut net, x, y)
+                    .expect("measured")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ping(c: &mut Criterion) {
+    let mut net = TorNetworkBuilder::testbed(7).build();
+    let (x, y) = (net.relays[2], net.relays[9]);
+    c.bench_function("probe/ping_sample", |b| {
+        b.iter(|| net.sim.ping_rtt_ms(x, y))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_network_build,
+    bench_circuit_build,
+    bench_echo_probe,
+    bench_full_measurement,
+    bench_ping
+);
+criterion_main!(benches);

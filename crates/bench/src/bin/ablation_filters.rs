@@ -1,0 +1,94 @@
+//! Ablation: design choices in the Ting estimator.
+//!
+//! 1. **Sample filter** — the paper takes the *minimum* of the samples
+//!    (§3.3) because forwarding delays are additive noise; this ablation
+//!    compares min / median / mean filters on the same samples.
+//! 2. **Sample count** — the §4.4 trade-off, swept from 10 to 1000.
+//! 3. **Early stopping** — the fast policy vs fixed counts.
+
+use bench::{env_usize, seed};
+use ting::{ting_estimate_ms, Ting, TingConfig};
+use tor_sim::TorNetworkBuilder;
+
+fn main() {
+    let n_pairs = env_usize("TING_PAIRS", 40);
+    let mut net = TorNetworkBuilder::testbed(seed()).build();
+    let pairs: Vec<_> = (0..n_pairs)
+        .map(|i| (net.relays[i % 31], net.relays[(i * 7 + 11) % 31]))
+        .filter(|(a, b)| a != b)
+        .collect();
+
+    // ── Filter ablation at 200 samples. ──
+    let ting = Ting::new(TingConfig::with_samples(200));
+    let mut errs: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for &(x, y) in &pairs {
+        let truth = net.true_rtt_ms(x, y);
+        let m = ting.measure_pair(&mut net, x, y).unwrap();
+        let filters: [fn(&[f64]) -> f64; 3] = [
+            |s| s.iter().copied().fold(f64::INFINITY, f64::min),
+            |s| stats::median(s).unwrap(),
+            |s| stats::mean(s).unwrap(),
+        ];
+        for (k, f) in filters.iter().enumerate() {
+            let est =
+                ting_estimate_ms(f(&m.full.samples), f(&m.x_leg.samples), f(&m.y_leg.samples));
+            errs[k].push(((est - truth) / truth).abs() * 100.0);
+        }
+    }
+    println!(
+        "# ablation 1: sample filter (200 samples/circuit, {} pairs)",
+        pairs.len()
+    );
+    println!("# filter   median |rel err|");
+    for (name, e) in ["min", "median", "mean"].iter().zip(&errs) {
+        println!("{name}\t{:.2}%", stats::median(e).unwrap());
+    }
+    println!("# expectation: min wins — queueing noise is strictly additive\n");
+
+    // ── Sample-count sweep. ──
+    println!("# ablation 2: sample count sweep");
+    println!("# samples  median |rel err|  virtual s/pair");
+    for count in [10usize, 25, 50, 100, 200, 500, 1000] {
+        let ting = Ting::new(TingConfig::with_samples(count));
+        let mut errs = Vec::new();
+        let mut times = Vec::new();
+        for &(x, y) in pairs.iter().take(15) {
+            let truth = net.true_rtt_ms(x, y);
+            let m = ting.measure_pair(&mut net, x, y).unwrap();
+            errs.push(((m.estimate_ms() - truth) / truth).abs() * 100.0);
+            times.push(m.elapsed_s);
+        }
+        println!(
+            "{count}\t{:.2}%\t{:.1}",
+            stats::median(&errs).unwrap(),
+            stats::median(&times).unwrap()
+        );
+    }
+    println!("# expectation: error plateaus long before 1000 (Fig. 7)\n");
+
+    // ── Early stopping. ──
+    println!("# ablation 3: early-stop policy vs fixed 200");
+    let fast = Ting::new(TingConfig::fast());
+    let fixed = Ting::new(TingConfig::with_samples(200));
+    let mut fast_err = Vec::new();
+    let mut fast_n = Vec::new();
+    let mut fixed_err = Vec::new();
+    for &(x, y) in pairs.iter().take(15) {
+        let truth = net.true_rtt_ms(x, y);
+        let mf = fast.measure_pair(&mut net, x, y).unwrap();
+        let mx = fixed.measure_pair(&mut net, x, y).unwrap();
+        fast_err.push(((mf.estimate_ms() - truth) / truth).abs() * 100.0);
+        fast_n.push(mf.total_samples() as f64);
+        fixed_err.push(((mx.estimate_ms() - truth) / truth).abs() * 100.0);
+    }
+    println!(
+        "early-stop: median err {:.2}% with median {:.0} samples",
+        stats::median(&fast_err).unwrap(),
+        stats::median(&fast_n).unwrap()
+    );
+    println!(
+        "fixed-200 : median err {:.2}% with 600 samples",
+        stats::median(&fixed_err).unwrap()
+    );
+    println!("# expectation: ~5% error budget at a fraction of the probes (§4.4)");
+}

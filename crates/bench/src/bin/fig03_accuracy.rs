@@ -1,0 +1,39 @@
+//! Figure 3: CDF of Ting's estimate / ground truth over the 930 ordered
+//! pairs of the 31-node validation testbed (1000 Ting samples per
+//! circuit vs min-of-100-ping ground truth).
+//!
+//! Paper expectations: x = 1 means perfect; 91% of pairs within 10% of
+//! truth; < 2% of pairs off by more than 30%; no skew to either side.
+
+use bench::{env_usize, print_cdf, testbed_accuracy_dataset};
+
+fn main() {
+    let samples = env_usize("TING_SAMPLES", 1000);
+    let pairs = env_usize("TING_PAIRS", 930);
+    let data = testbed_accuracy_dataset(samples, pairs);
+
+    let ratios: Vec<f64> = data.iter().map(|p| p.ratio()).collect();
+    print_cdf(
+        &format!(
+            "Fig. 3: Measured/Real CDF ({} pairs, {} samples)",
+            data.len(),
+            samples
+        ),
+        &ratios,
+        120,
+    );
+
+    let cdf = stats::EmpiricalCdf::new(&ratios);
+    let within10 = cdf.fraction_within_relative(1.0, 0.10) * 100.0;
+    let beyond30 = (1.0 - cdf.fraction_within_relative(1.0, 0.30)) * 100.0;
+    let est: Vec<f64> = data.iter().map(|p| p.estimate_ms).collect();
+    let truth: Vec<f64> = data.iter().map(|p| p.truth_ms).collect();
+    let rho = stats::spearman(&est, &truth).unwrap();
+
+    println!("#");
+    println!("# summary            paper    measured");
+    println!("# within 10%         91%      {within10:.1}%");
+    println!("# error > 30%        <2%      {beyond30:.1}%");
+    println!("# spearman rho       0.997    {rho:.4}");
+    println!("# median ratio       ~1.0     {:.4}", cdf.median());
+}

@@ -1,0 +1,54 @@
+//! Figure 4: the Fig. 3 accuracy CDF split into four latency regimes
+//! (< 50 ms, 50–150 ms, 150–250 ms, > 250 ms of ground-truth RTT).
+//!
+//! Paper expectation: accuracy improves with latency — each successive
+//! regime's CDF is steeper and tighter around x = 1, and most outliers
+//! come from the < 50 ms group (small absolute errors look large in
+//! relative terms).
+
+use bench::{env_usize, print_cdf, testbed_accuracy_dataset};
+
+fn main() {
+    let samples = env_usize("TING_SAMPLES", 1000);
+    let pairs = env_usize("TING_PAIRS", 930);
+    let data = testbed_accuracy_dataset(samples, pairs);
+
+    let regimes: [(&str, f64, f64); 4] = [
+        ("< 50ms", 0.0, 50.0),
+        ("50-150ms", 50.0, 150.0),
+        ("150-250ms", 150.0, 250.0),
+        ("> 250ms", 250.0, f64::INFINITY),
+    ];
+
+    println!("# Fig. 4: Measured/Real CDFs by ground-truth regime");
+    let mut spreads = Vec::new();
+    for (name, lo, hi) in regimes {
+        let ratios: Vec<f64> = data
+            .iter()
+            .filter(|p| p.truth_ms >= lo && p.truth_ms < hi)
+            .map(|p| p.ratio())
+            .collect();
+        if ratios.is_empty() {
+            println!("# regime {name}: no pairs");
+            continue;
+        }
+        print_cdf(
+            &format!("regime {name} ({} pairs)", ratios.len()),
+            &ratios,
+            60,
+        );
+        let cdf = stats::EmpiricalCdf::new(&ratios);
+        let spread = cdf.quantile(0.95) - cdf.quantile(0.05);
+        spreads.push((name, spread, cdf.median()));
+        println!("#   p5-p95 spread {spread:.4}, median {:.4}", cdf.median());
+    }
+
+    println!("#");
+    println!("# paper expectation: spreads shrink with latency regime");
+    for w in spreads.windows(2) {
+        let (a, sa, _) = w[0];
+        let (b, sb, _) = w[1];
+        let ok = if sb <= sa { "ok" } else { "VIOLATED" };
+        println!("# {a} ({sa:.3}) >= {b} ({sb:.3})  [{ok}]");
+    }
+}

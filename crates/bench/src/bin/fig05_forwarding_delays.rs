@@ -1,0 +1,75 @@
+//! Figure 5: per-relay forwarding delays measured hourly over 48 hours
+//! with the §4.3 procedure, using both ICMP (`ping`) and TCP
+//! (`tcptraceroute`) direct probes.
+//!
+//! Paper expectations: ~65% of relays sit tightly in 0–2 ms; the rest
+//! are "extremely odd" — often *negative* (ICMP slower than Tor) or
+//! inflated (TCP/Tor shaped), with visible ICMP/TCP disagreement on
+//! exactly those networks.
+
+use bench::{advance_to_hour, env_u64, env_usize, seed};
+use stats::BoxplotSummary;
+use ting::{measure_forwarding_delay, ProbeProtocol, Ting, TingConfig};
+use tor_sim::TorNetworkBuilder;
+
+fn main() {
+    let hours = env_u64("TING_HOURS", 48);
+    let samples = env_usize("TING_SAMPLES", 60);
+    let probes = env_usize("TING_PROBES", 20);
+
+    let mut net = TorNetworkBuilder::testbed(seed()).build();
+    let ting = Ting::new(TingConfig::with_samples(samples));
+    let relays = net.relays.clone();
+
+    // relay → (icmp F_x series, tcp F_x series) over the 48 hours.
+    let mut series: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); relays.len()];
+    for hour in 0..hours {
+        advance_to_hour(&mut net, hour);
+        for (i, &x) in relays.iter().enumerate() {
+            let icmp = measure_forwarding_delay(&ting, &mut net, x, ProbeProtocol::Icmp, probes)
+                .expect("icmp measurement");
+            let tcp = measure_forwarding_delay(&ting, &mut net, x, ProbeProtocol::Tcp, probes)
+                .expect("tcp measurement");
+            series[i].0.push(icmp.f_x_ms);
+            series[i].1.push(tcp.f_x_ms);
+        }
+        eprintln!("[fig05] hour {hour} done");
+    }
+
+    // Sort relays by ICMP median, as in the figure.
+    let mut order: Vec<usize> = (0..relays.len()).collect();
+    order.sort_by(|&a, &b| {
+        stats::median(&series[a].0)
+            .unwrap()
+            .partial_cmp(&stats::median(&series[b].0).unwrap())
+            .unwrap()
+    });
+
+    println!(
+        "# Fig. 5: forwarding delays across {} relays, hourly x {hours}h",
+        relays.len()
+    );
+    println!("# rank\ticmp_med\ticmp_q1\ticmp_q3\ttcp_med\ttcp_q1\ttcp_q3");
+    let mut nominal = 0;
+    let mut negative = 0;
+    for (rank, &i) in order.iter().enumerate() {
+        let icmp = BoxplotSummary::of(&series[i].0).unwrap();
+        let tcp = BoxplotSummary::of(&series[i].1).unwrap();
+        println!(
+            "{rank}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
+            icmp.median, icmp.q1, icmp.q3, tcp.median, tcp.q1, tcp.q3
+        );
+        if icmp.median >= -0.5 && icmp.median <= 3.0 && (icmp.median - tcp.median).abs() < 1.5 {
+            nominal += 1;
+        }
+        if icmp.median < -1.0 {
+            negative += 1;
+        }
+    }
+    let frac = nominal as f64 / relays.len() as f64 * 100.0;
+    println!("#");
+    println!("# summary                          paper      measured");
+    println!("# relays with nominal 0-2ms F      ~65%       {frac:.0}%");
+    println!("# relays with negative median F    'often'    {negative}");
+    println!("# (negative F == ICMP treated worse than Tor; impossible on one path)");
+}

@@ -1,0 +1,81 @@
+//! Figure 6: how many samples does the running minimum need to reach
+//! (or approach) the minimum of 1000 samples?
+//!
+//! 100 random live-network pairs, 1000 Ting samples through each full
+//! circuit; CDFs of the sample index that first achieves the final
+//! minimum and its 1 ms / 1% / 5% / 10% approximations.
+//!
+//! Paper expectations: the true minimum takes hundreds of samples
+//! (confirming Jansen et al.), but "within 1 ms" needs ~25× fewer
+//! probes at the median.
+
+use bench::{env_usize, print_cdf, seed};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use stats::MinConvergence;
+use ting::{Ting, TingConfig};
+use tor_sim::TorNetworkBuilder;
+
+fn main() {
+    let n_pairs = env_usize("TING_PAIRS", 100);
+    let samples = env_usize("TING_SAMPLES", 1000);
+    let relays = env_usize("TING_RELAYS", 120);
+
+    let mut net = TorNetworkBuilder::live(seed(), relays).build();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed() ^ 0xf16);
+    let mut pool = net.relays.clone();
+    pool.shuffle(&mut rng);
+
+    let ting = Ting::new(TingConfig::with_samples(samples));
+    let mut convergences = Vec::new();
+    let (w, z) = (net.local_w, net.local_z);
+    for pair in pool.chunks(2).take(n_pairs) {
+        let [x, y] = [pair[0], pair[1]];
+        let circuit = ting
+            .sample_circuit(&mut net, vec![w, x, y, z])
+            .expect("circuit sampled");
+        convergences.push(MinConvergence::analyze(&circuit.samples).unwrap());
+    }
+
+    let to_min: Vec<f64> = convergences
+        .iter()
+        .map(|c| c.samples_to_min as f64)
+        .collect();
+    let within_1ms: Vec<f64> = convergences
+        .iter()
+        .map(|c| c.samples_to_within_abs(1.0) as f64)
+        .collect();
+    let within_1pct: Vec<f64> = convergences
+        .iter()
+        .map(|c| c.samples_to_within_rel(0.01) as f64)
+        .collect();
+    let within_5pct: Vec<f64> = convergences
+        .iter()
+        .map(|c| c.samples_to_within_rel(0.05) as f64)
+        .collect();
+    let within_10pct: Vec<f64> = convergences
+        .iter()
+        .map(|c| c.samples_to_within_rel(0.10) as f64)
+        .collect();
+
+    print_cdf("Fig. 6: samples to measured min", &to_min, 80);
+    print_cdf("Fig. 6: samples to within 1ms", &within_1ms, 80);
+    print_cdf("Fig. 6: samples to within 1%", &within_1pct, 80);
+    print_cdf("Fig. 6: samples to within 5%", &within_5pct, 80);
+    print_cdf("Fig. 6: samples to within 10%", &within_10pct, 80);
+
+    let med = |v: &[f64]| stats::median(v).unwrap();
+    println!("#");
+    println!(
+        "# medians: min={}, 1ms={}, 1%={}, 5%={}, 10%={}",
+        med(&to_min),
+        med(&within_1ms),
+        med(&within_1pct),
+        med(&within_5pct),
+        med(&within_10pct)
+    );
+    println!(
+        "# speedup accepting 1ms error: {:.0}x fewer probes (paper: ~25x)",
+        med(&to_min) / med(&within_1ms).max(1.0)
+    );
+}

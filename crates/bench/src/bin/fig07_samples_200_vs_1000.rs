@@ -1,0 +1,42 @@
+//! Figure 7: accuracy with 200 samples per circuit vs 1000.
+//!
+//! Paper expectation: the two Measured/Real CDFs are "almost identical",
+//! justifying 200 samples (and, with a 5% error budget, far fewer) for
+//! the rest of the paper's experiments.
+
+use bench::{env_usize, print_cdf, testbed_accuracy_dataset};
+
+fn main() {
+    let hi = env_usize("TING_SAMPLES", 1000);
+    let lo = env_usize("TING_SAMPLES_LO", 200);
+    let pairs = env_usize("TING_PAIRS", 930);
+
+    let data_hi = testbed_accuracy_dataset(hi, pairs);
+    let data_lo = testbed_accuracy_dataset(lo, pairs);
+
+    let ratios_hi: Vec<f64> = data_hi.iter().map(|p| p.ratio()).collect();
+    let ratios_lo: Vec<f64> = data_lo.iter().map(|p| p.ratio()).collect();
+
+    print_cdf(&format!("Fig. 7: {hi} samples"), &ratios_hi, 100);
+    print_cdf(&format!("Fig. 7: {lo} samples"), &ratios_lo, 100);
+
+    // Quantify "almost identical": max vertical gap between the CDFs
+    // (a two-sample Kolmogorov–Smirnov statistic).
+    let cdf_hi = stats::EmpiricalCdf::new(&ratios_hi);
+    let cdf_lo = stats::EmpiricalCdf::new(&ratios_lo);
+    let mut ks: f64 = 0.0;
+    for &x in cdf_hi
+        .sorted_samples()
+        .iter()
+        .chain(cdf_lo.sorted_samples())
+    {
+        ks = ks.max((cdf_hi.eval(x) - cdf_lo.eval(x)).abs());
+    }
+    let w10_hi = cdf_hi.fraction_within_relative(1.0, 0.10) * 100.0;
+    let w10_lo = cdf_lo.fraction_within_relative(1.0, 0.10) * 100.0;
+
+    println!("#");
+    println!("# summary                      {hi} samples   {lo} samples");
+    println!("# within 10% of truth          {w10_hi:.1}%        {w10_lo:.1}%");
+    println!("# KS distance between CDFs     {ks:.4}  (paper: 'almost identical')");
+}

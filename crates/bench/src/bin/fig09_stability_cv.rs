@@ -1,0 +1,92 @@
+//! Figure 9: stability of Ting measurements over a week.
+//!
+//! 30 relay pairs (chosen to span the Fig. 8 RTT range) measured once
+//! an hour for a week; CDF of each pair's coefficient of variation
+//! `c_v = σ/µ`.
+//!
+//! Paper expectations: 96.7% of pairs (all but one) have c_v < 0.5;
+//! over 50% have c_v ≈ 0; the one outlier is a low-mean pair.
+
+use bench::{advance_to_hour, env_u64, env_usize, seed};
+use stats::coefficient_of_variation;
+use ting::{Ting, TingConfig};
+use tor_sim::TorNetworkBuilder;
+
+/// Selects `n` pairs spanning the RTT range: sorts candidate pairs by
+/// ground truth and takes evenly spaced ranks.
+fn spanning_pairs(
+    net: &mut tor_sim::TorNetwork,
+    n: usize,
+) -> Vec<(netsim::NodeId, netsim::NodeId)> {
+    let relays = net.relays.clone();
+    let mut cands = Vec::new();
+    for (i, &a) in relays.iter().enumerate() {
+        for &b in relays.iter().skip(i + 1) {
+            cands.push((net.true_rtt_ms(a, b), a, b));
+        }
+    }
+    cands.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    (0..n)
+        .map(|k| {
+            let idx = k * (cands.len() - 1) / (n - 1).max(1);
+            (cands[idx].1, cands[idx].2)
+        })
+        .collect()
+}
+
+fn main() {
+    let hours = env_u64("TING_HOURS", 168);
+    let n_pairs = env_usize("TING_PAIRS", 30);
+    let samples = env_usize("TING_SAMPLES", 60);
+
+    let mut net = TorNetworkBuilder::live(seed(), 80).build();
+    let pairs = spanning_pairs(&mut net, n_pairs);
+    let ting = Ting::new(TingConfig::with_samples(samples));
+
+    // pair → hourly estimates.
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); pairs.len()];
+    for hour in 0..hours {
+        advance_to_hour(&mut net, hour);
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            if let Ok(m) = ting.measure_pair(&mut net, x, y) {
+                series[i].push(m.estimate_ms());
+            }
+        }
+        if hour % 24 == 0 {
+            eprintln!("[fig09] day {} done", hour / 24);
+        }
+    }
+
+    let cvs: Vec<f64> = series
+        .iter()
+        .filter_map(|s| coefficient_of_variation(s))
+        .collect();
+    bench::print_cdf(
+        "Fig. 9: coefficient of variation of hourly estimates",
+        &cvs,
+        60,
+    );
+
+    let below_half = cvs.iter().filter(|&&c| c < 0.5).count() as f64 / cvs.len() as f64;
+    let near_zero = cvs.iter().filter(|&&c| c < 0.1).count() as f64 / cvs.len() as f64;
+    println!("#");
+    println!("# summary              paper     measured");
+    println!(
+        "# c_v < 0.5            96.7%     {:.1}%",
+        below_half * 100.0
+    );
+    println!("# c_v ~ 0 (<0.1)       >50%      {:.1}%", near_zero * 100.0);
+
+    // Persist the series for fig10 (box plots of the same data).
+    let mut out = String::from("# pair\thour_estimates...\n");
+    for (i, s) in series.iter().enumerate() {
+        out.push_str(&format!("{i}"));
+        for v in s {
+            out.push_str(&format!("\t{v:.4}"));
+        }
+        out.push('\n');
+    }
+    let path = bench::figdata_dir().join(format!("stability_s{}_h{hours}.tsv", seed()));
+    std::fs::write(&path, out).expect("write stability series");
+    eprintln!("[fig09] series cached at {}", path.display());
+}

@@ -1,0 +1,64 @@
+//! Figure 10: per-pair box plots of the week of hourly measurements
+//! from Fig. 9, sorted by median latency.
+//!
+//! Paper expectations: 67% of pairs have no outliers and IQR < 5 ms;
+//! the Fig. 9 c_v outlier is the lowest-mean pair; even wide pairs'
+//! outliers stay near the mean.
+
+use bench::{env_u64, seed};
+use stats::BoxplotSummary;
+
+fn main() {
+    let hours = env_u64("TING_HOURS", 168);
+    let path = bench::figdata_dir().join(format!("stability_s{}_h{hours}.tsv", seed()));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        eprintln!(
+            "[fig10] no cached series at {} — run fig09_stability_cv first",
+            path.display()
+        );
+        std::process::exit(2);
+    });
+
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let vals: Vec<f64> = line
+            .split('\t')
+            .skip(1)
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        if !vals.is_empty() {
+            series.push(vals);
+        }
+    }
+
+    // Sort by median, as the figure does.
+    series.sort_by(|a, b| {
+        stats::median(a)
+            .unwrap()
+            .partial_cmp(&stats::median(b).unwrap())
+            .unwrap()
+    });
+
+    println!("# Fig. 10: per-pair boxplots (sorted by median)");
+    println!("# rank\tmedian\tq1\tq3\twhisk_lo\twhisk_hi\toutliers");
+    let mut tight = 0;
+    for (rank, s) in series.iter().enumerate() {
+        let b = BoxplotSummary::of(s).unwrap();
+        println!(
+            "{rank}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{}",
+            b.median,
+            b.q1,
+            b.q3,
+            b.whisker_lo,
+            b.whisker_hi,
+            b.outliers.len()
+        );
+        if !b.has_outliers() && b.iqr() < 5.0 {
+            tight += 1;
+        }
+    }
+    let frac = tight as f64 / series.len() as f64 * 100.0;
+    println!("#");
+    println!("# summary                                paper   measured");
+    println!("# pairs with no outliers and IQR < 5ms   67%     {frac:.0}%");
+}

@@ -1,0 +1,38 @@
+//! Figure 11: CDF of RTTs from running Ting on all pairs of a random
+//! 50-node set of live relays.
+//!
+//! Paper expectation: shape consistent with Fig. 8's latency marginal —
+//! most mass between ~20 and ~250 ms with a tail toward 400 ms.
+
+use bench::{env_usize, live_matrix, print_cdf};
+
+fn main() {
+    let n = env_usize("TING_RELAYS", 50);
+    let samples = env_usize("TING_SAMPLES", 200);
+    let (_net, matrix) = live_matrix(n, samples);
+
+    let values = matrix.values();
+    print_cdf(
+        &format!(
+            "Fig. 11: inter-Tor-node RTTs, {} pairs of {n} relays",
+            values.len()
+        ),
+        &values,
+        100,
+    );
+
+    let cdf = stats::EmpiricalCdf::new(&values);
+    println!("#");
+    println!(
+        "# min / p25 / median / p75 / max (ms): {:.1} / {:.1} / {:.1} / {:.1} / {:.1}",
+        cdf.min(),
+        cdf.quantile(0.25),
+        cdf.median(),
+        cdf.quantile(0.75),
+        cdf.max()
+    );
+    println!(
+        "# mean (Algorithm 1's mu): {:.1} ms",
+        matrix.mean_rtt_ms().unwrap()
+    );
+}

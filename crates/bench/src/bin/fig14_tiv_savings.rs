@@ -1,0 +1,32 @@
+//! Figure 14: CDF of RTT savings from routing through a TIV detour
+//! relay instead of the direct path.
+//!
+//! Paper expectations: 69% of pairs have at least one TIV; median
+//! saving 7.5%; the top 10% of TIVs save 28% or more.
+
+use analysis::TivReport;
+use bench::{env_usize, live_matrix, print_cdf};
+
+fn main() {
+    let n = env_usize("TING_RELAYS", 50);
+    let samples = env_usize("TING_SAMPLES", 200);
+    let (_net, matrix) = live_matrix(n, samples);
+
+    let report = TivReport::analyze(&matrix);
+    let savings = report.savings_distribution();
+    print_cdf(
+        &format!("Fig. 14: TIV savings %, {} violating pairs", savings.len()),
+        &savings,
+        80,
+    );
+
+    let cdf = stats::EmpiricalCdf::new(&savings);
+    println!("#");
+    println!("# summary               paper    measured");
+    println!(
+        "# pairs with a TIV      69%      {:.0}%",
+        report.violation_fraction() * 100.0
+    );
+    println!("# median saving         7.5%     {:.1}%", cdf.median());
+    println!("# p90 saving            >=28%    {:.1}%", cdf.quantile(0.9));
+}

@@ -1,0 +1,51 @@
+//! Figure 15: TIV detour RTT vs default-path RTT for every violating
+//! pair.
+//!
+//! Paper expectations: TIV-capable pairs occur across the whole RTT
+//! range (not just long or short paths); points sit below y = x, with
+//! substantial drops (> 30% decrease) indicating performance-
+//! insensitive Internet routing.
+
+use analysis::TivReport;
+use bench::{env_usize, live_matrix};
+
+fn main() {
+    let n = env_usize("TING_RELAYS", 50);
+    let samples = env_usize("TING_SAMPLES", 200);
+    let (_net, matrix) = live_matrix(n, samples);
+
+    let report = TivReport::analyze(&matrix);
+    println!("# Fig. 15: default_rtt_ms\tdetour_rtt_ms");
+    for (direct, detour) in report.scatter() {
+        println!("{direct:.1}\t{detour:.1}");
+    }
+
+    // Are TIVs spread across the RTT range? Compare the quartiles of
+    // the violating pairs' direct RTTs against all pairs'.
+    let all: Vec<f64> = report.findings.iter().map(|f| f.direct_ms).collect();
+    let viol: Vec<f64> = report
+        .findings
+        .iter()
+        .filter(|f| f.is_violation())
+        .map(|f| f.direct_ms)
+        .collect();
+    let big_drops = report
+        .scatter()
+        .iter()
+        .filter(|(direct, detour)| detour / direct < 0.7)
+        .count();
+    println!("#");
+    println!(
+        "# all pairs direct RTT quartiles   : {:.0} / {:.0} / {:.0} ms",
+        stats::quantile(&all, 0.25).unwrap(),
+        stats::median(&all).unwrap(),
+        stats::quantile(&all, 0.75).unwrap()
+    );
+    println!(
+        "# TIV pairs direct RTT quartiles   : {:.0} / {:.0} / {:.0} ms  (paper: same range)",
+        stats::quantile(&viol, 0.25).unwrap(),
+        stats::median(&viol).unwrap(),
+        stats::quantile(&viol, 0.75).unwrap()
+    );
+    println!("# detours with >30% RTT decrease   : {big_drops} (performance-insensitive routing)");
+}

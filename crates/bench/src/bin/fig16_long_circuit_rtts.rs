@@ -1,0 +1,48 @@
+//! Figure 16: number of circuits achieving each RTT, per circuit length
+//! 3–10 (10,000 sampled circuits per length, scaled to C(50, ℓ);
+//! 50 ms bins).
+//!
+//! Paper expectations: longer circuits reach both higher maxima and —
+//! because C(50, ℓ) explodes — vastly more circuits at the same
+//! mid-range RTT: an order of magnitude more 4-hop than 3-hop circuits
+//! in the 200–300 ms band, four orders more 10-hop.
+
+use analysis::CircuitLengthAnalysis;
+use bench::{env_usize, live_matrix, seed};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = env_usize("TING_RELAYS", 50);
+    let samples = env_usize("TING_SAMPLES", 200);
+    let per_length = env_usize("TING_RUNS", 10_000);
+    let (_net, matrix) = live_matrix(n, samples);
+
+    let mut rng = SmallRng::seed_from_u64(seed() ^ 0xf16);
+    let analysis = CircuitLengthAnalysis::run(&matrix, 3..=10, per_length, 2.5, &mut rng);
+
+    println!("# Fig. 16: rtt_bin_center_s, then one column per length 3..10 (scaled counts)");
+    let bins = analysis.series[0].bin_centers_s.len();
+    for b in 0..bins {
+        let mut row = format!("{:.3}", analysis.series[0].bin_centers_s[b]);
+        for s in &analysis.series {
+            row.push_str(&format!("\t{:.3e}", s.scaled_counts[b]));
+        }
+        println!("{row}");
+    }
+
+    let c3 = analysis.circuits_in_range(3, 0.2, 0.3);
+    let c4 = analysis.circuits_in_range(4, 0.2, 0.3);
+    let c10 = analysis.circuits_in_range(10, 0.2, 0.3);
+    println!("#");
+    println!("# circuits in the 200-300ms band   paper          measured");
+    println!("# 3-hop                            ~1e4           {c3:.2e}");
+    println!(
+        "# 4-hop                            ~1 OoM more    {:.1}x the 3-hop count",
+        c4 / c3.max(1.0)
+    );
+    println!(
+        "# 10-hop                           ~4 OoM more    {:.1} OoM more",
+        (c10 / c3.max(1.0)).log10()
+    );
+}

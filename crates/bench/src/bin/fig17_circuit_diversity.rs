@@ -1,0 +1,65 @@
+//! Figure 17: median probability of a given node appearing on a circuit,
+//! per circuit length and RTT bin — the "how entropic are the circuits
+//! at this latency?" diversity metric.
+//!
+//! Paper expectations: for most lengths, low-latency circuits do not
+//! rely on a small set of nodes; only 10-hop circuits sacrifice
+//! significant entropy below ~500 ms, and each length's probability is
+//! elevated at its extremes (few circuits ⇒ concentrated nodes) with a
+//! flat entropic middle.
+
+use analysis::CircuitLengthAnalysis;
+use bench::{env_usize, live_matrix, seed};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = env_usize("TING_RELAYS", 50);
+    let samples = env_usize("TING_SAMPLES", 200);
+    let per_length = env_usize("TING_RUNS", 10_000);
+    let (_net, matrix) = live_matrix(n, samples);
+
+    let mut rng = SmallRng::seed_from_u64(seed() ^ 0xf17);
+    let analysis = CircuitLengthAnalysis::run(&matrix, 3..=10, per_length, 2.5, &mut rng);
+
+    println!("# Fig. 17: rtt_bin_center_s, then median node-probability per length 3..10");
+    let bins = analysis.series[0].bin_centers_s.len();
+    for b in 0..bins {
+        let mut row = format!("{:.3}", analysis.series[0].bin_centers_s[b]);
+        let mut any = false;
+        for s in &analysis.series {
+            match s.median_node_prob[b] {
+                Some(p) => {
+                    row.push_str(&format!("\t{p:.5}"));
+                    any = true;
+                }
+                None => row.push_str("\t-"),
+            }
+        }
+        if any {
+            println!("{row}");
+        }
+    }
+
+    // The expected baseline probability of a node on an l-hop circuit
+    // over n relays is l/n; report how the entropic middle compares.
+    println!("#");
+    println!("# length  baseline l/n   busiest-bin median   (flat middle = entropic)");
+    for s in &analysis.series {
+        let busiest = s
+            .scaled_counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        if let Some(p) = s.median_node_prob[busiest] {
+            println!(
+                "# {:>6}  {:>11.3}   {:>18.3}",
+                s.length,
+                s.length as f64 / n as f64,
+                p
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 18: total running relays and unique /24 prefixes over two
+//! months of consensuses (Feb 28 – Apr 28, 2015 in the paper).
+//!
+//! Paper expectations: 5426–6044 unique /24s throughout; total relays
+//! ~30% above the prior year (a gentle upward trend with daily churn).
+
+use analysis::CoverageReport;
+use bench::{env_u64, env_usize, seed};
+use tor_sim::churn::{ChurnConfig, ChurnModel};
+
+fn main() {
+    let days = env_usize("TING_DAYS", 60) as u32;
+    let mut model = ChurnModel::new(ChurnConfig::default(), env_u64("TING_SEED", seed()));
+
+    println!("# Fig. 18: day\ttotal_relays\tunique_slash24");
+    let series = model.run(days);
+    let mut min24 = usize::MAX;
+    let mut max24 = 0;
+    for s in &series {
+        println!("{}\t{}\t{}", s.day, s.running_relays, s.unique_slash24);
+        min24 = min24.min(s.unique_slash24);
+        max24 = max24.max(s.unique_slash24);
+    }
+
+    let report = CoverageReport::analyze(model.relays());
+    println!("#");
+    println!("# summary                    paper        measured");
+    println!("# unique /24 range           5426-6044    {min24}-{max24}");
+    println!(
+        "# final population           ~6634        {}",
+        report.total_relays
+    );
+    println!(
+        "# relays with rDNS           5484/6634    {}/{}",
+        report.named, report.total_relays
+    );
+    println!(
+        "# residential of named       ~61%         {:.0}%",
+        report.residential_fraction_of_named() * 100.0
+    );
+    println!(
+        "# named hosting companies    ~706         {}",
+        report.datacenter
+    );
+}

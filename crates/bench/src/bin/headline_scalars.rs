@@ -1,0 +1,109 @@
+//! Headline scalar claims from the paper, paper-vs-measured.
+//!
+//! Everything that isn't a figure: the Spearman rank correlation
+//! (§4.2), the strawman's failure (§3.2), measurement time per pair
+//! (§4.4: ~2.5 min at 200 samples, < 15 s at ~5% error), and the
+//! forwarding-delay floor (§3.3: 0–3 ms minima).
+
+use bench::{env_usize, seed, testbed_accuracy_dataset};
+use ting::{measure_forwarding_delay, strawman::strawman_measure, ProbeProtocol, Ting, TingConfig};
+use tor_sim::TorNetworkBuilder;
+
+fn main() {
+    let samples = env_usize("TING_SAMPLES", 200);
+    println!("# headline scalars: paper vs measured\n");
+
+    // ── Spearman ρ between Ting and ground truth (§4.2). ──
+    let data = testbed_accuracy_dataset(samples, env_usize("TING_PAIRS", 930));
+    let est: Vec<f64> = data.iter().map(|p| p.estimate_ms).collect();
+    let truth: Vec<f64> = data.iter().map(|p| p.truth_ms).collect();
+    let rho = stats::spearman(&est, &truth).unwrap();
+    println!("spearman rank correlation      paper 0.997    measured {rho:.4}");
+
+    // ── Strawman vs Ting error on discriminating networks (§3.2). ──
+    let mut net = TorNetworkBuilder::testbed(seed()).build();
+    let ting = Ting::new(TingConfig::with_samples(samples));
+    let mut ting_errs = Vec::new();
+    let mut straw_errs = Vec::new();
+    // The §3.2 failure mode needs discriminating networks on the path:
+    // compare on pairs whose endpoints' ASes treat protocols unequally
+    // (~35% of testbed networks, §4.3).
+    let discriminating: Vec<_> = net
+        .relays
+        .clone()
+        .into_iter()
+        .filter(|r| {
+            let as_id = net.sim.underlay().node(r.index()).as_id;
+            net.sim.underlay().as_profile(as_id).policy.discriminates()
+        })
+        .collect();
+    let neutral: Vec<_> = net
+        .relays
+        .clone()
+        .into_iter()
+        .filter(|r| !discriminating.contains(r))
+        .collect();
+    let pair_list: Vec<_> = discriminating
+        .iter()
+        .flat_map(|&d| neutral.iter().take(3).map(move |&n| (d, n)))
+        .take(24)
+        .collect();
+    for &(x, y) in &pair_list {
+        let t = net.true_rtt_ms(x, y);
+        let m = ting.measure_pair(&mut net, x, y).unwrap();
+        let s = strawman_measure(&ting, &mut net, x, y, 100).unwrap();
+        ting_errs.push(((m.estimate_ms() - t) / t).abs() * 100.0);
+        straw_errs.push(((s.estimate_ms() - t) / t).abs() * 100.0);
+    }
+    println!(
+        "median |error| vs truth        ting {:.1}%      strawman {:.1}%   (strawman mixes Tor+ping)",
+        stats::median(&ting_errs).unwrap(),
+        stats::median(&straw_errs).unwrap()
+    );
+    println!(
+        "p90 |error| vs truth           ting {:.1}%      strawman {:.1}%   (anomalous networks break it)",
+        stats::quantile(&ting_errs, 0.9).unwrap(),
+        stats::quantile(&straw_errs, 0.9).unwrap()
+    );
+
+    // ── Measurement time per pair (§4.4). ──
+    let (x, y) = (net.relays[3], net.relays[19]);
+    let slow = Ting::new(TingConfig::with_samples(200))
+        .measure_pair(&mut net, x, y)
+        .unwrap();
+    let fast = Ting::new(TingConfig::fast())
+        .measure_pair(&mut net, x, y)
+        .unwrap();
+    println!(
+        "time per pair (200 samples)    paper ~150s    measured {:.0}s (virtual)",
+        slow.elapsed_s
+    );
+    println!(
+        "time per pair (~5% error)      paper <15s     measured {:.1}s with {} samples",
+        fast.elapsed_s,
+        fast.total_samples()
+    );
+
+    // ── Forwarding-delay floor (§3.3/§4.3). ──
+    let mut floors = Vec::new();
+    for i in [0usize, 7, 14, 21, 28] {
+        let r = net.relays[i];
+        if let Ok(m) = measure_forwarding_delay(&ting, &mut net, r, ProbeProtocol::Tcp, 50) {
+            floors.push(m.f_x_ms);
+        }
+    }
+    println!(
+        "forwarding-delay estimates     paper 0-3ms    measured {:.2}..{:.2} ms (TCP probes, 5 relays)",
+        floors.iter().copied().fold(f64::INFINITY, f64::min),
+        floors.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    );
+
+    // ── Accuracy headline (§4.2 / abstract). ──
+    let ratios: Vec<f64> = data.iter().map(|p| p.ratio()).collect();
+    let cdf = stats::EmpiricalCdf::new(&ratios);
+    println!(
+        "estimates within 10% of truth  paper 80-91%   measured {:.0}% ({} samples/circuit)",
+        cdf.fraction_within_relative(1.0, 0.10) * 100.0,
+        samples
+    );
+}

@@ -1,0 +1,54 @@
+//! **Ting**: measuring round-trip times between arbitrary Tor relays
+//! from a single vantage point, after Cangialosi, Levin & Spring
+//! (IMC 2015).
+//!
+//! The technique (§3.3 of the paper): run an echo client/server and two
+//! local Tor relays `w`, `z` on one host `h`; build three circuits
+//! through the pair of interest `(x, y)` —
+//!
+//! ```text
+//! C_xy = (w, x, y, z)      the full circuit
+//! C_x  = (w, x)            isolates h ↔ x
+//! C_y  = (w, y)            isolates h ↔ y
+//! ```
+//!
+//! sample echo RTTs through each, take per-circuit minima, and compute
+//!
+//! ```text
+//! R(x, y) ≈ min R_Cxy − ½ min R_Cx − ½ min R_Cy
+//! ```
+//!
+//! which cancels every term of Eq. (1)–(3) except `R(x,y) + F_x + F_y`,
+//! where the forwarding delays `F` have ~0–3 ms minima (§4.3).
+//!
+//! Module map:
+//!
+//! * [`estimator`] — the Eq. (4) algebra and measurement records;
+//! * [`sampling`] — sample policies (fixed count, early stopping) and
+//!   the min filter;
+//! * [`orchestrator`] — drives circuits/streams over a
+//!   [`tor_sim::TorNetwork`] and produces [`estimator::TingMeasurement`]s;
+//! * [`strawman`] — the §3.2 baseline that mixes Tor and ping traffic
+//!   (kept so experiments can show *why* it fails);
+//! * [`forwarding`] — the §4.3 forwarding-delay measurement procedure;
+//! * [`matrix`] — all-pairs RTT matrices with caching and TSV
+//!   import/export, the substrate of every §5 application.
+
+pub mod estimator;
+pub mod forwarding;
+pub mod king;
+pub mod matrix;
+pub mod orchestrator;
+pub mod report;
+pub mod sampling;
+pub mod scanner;
+pub mod strawman;
+
+pub use estimator::{ting_estimate_ms, CircuitSamples, TingMeasurement};
+pub use forwarding::{measure_forwarding_delay, ForwardingDelayMeasurement, ProbeProtocol};
+pub use king::{king_measure, KingConfig, KingOutcome};
+pub use matrix::RttMatrix;
+pub use orchestrator::{Ting, TingConfig, TingError};
+pub use report::{CampaignReport, QualityFlag};
+pub use sampling::SamplePolicy;
+pub use scanner::{Scanner, ScannerConfig};

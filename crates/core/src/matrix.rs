@@ -1,0 +1,277 @@
+//! All-pairs RTT matrices.
+//!
+//! §4.6 argues Ting's measurements are stable enough that "taking
+//! measurements with Ting infrequently and caching them is sufficient,
+//! and thus permits obtaining a large dataset of RTTs between Tor
+//! nodes." [`RttMatrix`] is that dataset: symmetric, indexed by relay,
+//! serializable to TSV so experiment binaries can regenerate or reload
+//! it, and the input to every §5 application.
+
+use crate::orchestrator::{Ting, TingError};
+use netsim::NodeId;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use tor_sim::TorNetwork;
+
+/// A symmetric all-pairs RTT dataset over a fixed relay set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RttMatrix {
+    nodes: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    /// Row-major upper-triangular storage; `None` = unmeasured.
+    rtt_ms: Vec<Option<f64>>,
+}
+
+impl RttMatrix {
+    /// Creates an empty matrix over `nodes`.
+    ///
+    /// # Panics
+    /// Panics on duplicate nodes.
+    pub fn new(nodes: Vec<NodeId>) -> RttMatrix {
+        let mut index = HashMap::with_capacity(nodes.len());
+        for (i, n) in nodes.iter().enumerate() {
+            assert!(index.insert(*n, i).is_none(), "duplicate node {n:?}");
+        }
+        let n = nodes.len();
+        RttMatrix {
+            nodes,
+            index,
+            rtt_ms: vec![None; n * (n + 1) / 2],
+        }
+    }
+
+    /// The relay set, in index order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn tri_index(&self, a: usize, b: usize) -> usize {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        // Upper triangle incl. diagonal, row-major.
+        lo * self.nodes.len() - lo * (lo + 1) / 2 + hi
+    }
+
+    /// Records a measurement (symmetric).
+    pub fn set(&mut self, a: NodeId, b: NodeId, rtt_ms: f64) {
+        assert!(rtt_ms.is_finite(), "non-finite RTT");
+        let (ia, ib) = (self.index[&a], self.index[&b]);
+        let idx = self.tri_index(ia, ib);
+        self.rtt_ms[idx] = Some(rtt_ms);
+    }
+
+    /// Looks up a pair (symmetric). The diagonal is implicitly 0.
+    pub fn get(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        if a == b {
+            return Some(0.0);
+        }
+        let (ia, ib) = (*self.index.get(&a)?, *self.index.get(&b)?);
+        self.rtt_ms[self.tri_index(ia, ib)]
+    }
+
+    /// Iterates all measured off-diagonal pairs `(a, b, rtt)` with
+    /// `a` before `b` in index order.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        let n = self.nodes.len();
+        (0..n).flat_map(move |i| {
+            ((i + 1)..n).filter_map(move |j| {
+                self.rtt_ms[self.tri_index(i, j)].map(|v| (self.nodes[i], self.nodes[j], v))
+            })
+        })
+    }
+
+    /// Number of measured off-diagonal pairs.
+    pub fn measured_pairs(&self) -> usize {
+        self.pairs().count()
+    }
+
+    /// Whether every off-diagonal pair is measured.
+    pub fn is_complete(&self) -> bool {
+        self.measured_pairs() == self.len() * (self.len() - 1) / 2
+    }
+
+    /// The mean measured RTT — the `µ` of deanonymization Algorithm 1
+    /// ("the average RTT across the entire all-pairs data").
+    pub fn mean_rtt_ms(&self) -> Option<f64> {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for (_, _, v) in self.pairs() {
+            sum += v;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// All measured RTT values (for CDFs, Fig. 11).
+    pub fn values(&self) -> Vec<f64> {
+        self.pairs().map(|(_, _, v)| v).collect()
+    }
+
+    /// Serializes to a TSV document (`a b rtt_ms` per line, header with
+    /// the node list) — the cacheable dataset §4.6 calls for.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# ting all-pairs rtt matrix v1\n");
+        out.push_str("# nodes:");
+        for n in &self.nodes {
+            let _ = write!(out, " {}", n.0);
+        }
+        out.push('\n');
+        for (a, b, v) in self.pairs() {
+            // `{}` prints the shortest representation that parses back
+            // to the identical f64, so save/load roundtrips exactly.
+            let _ = writeln!(out, "{}\t{}\t{}", a.0, b.0, v);
+        }
+        out
+    }
+
+    /// Measures the full matrix over `nodes` with Ting, one pair at a
+    /// time in index order. `progress` is called after each pair with
+    /// `(done, total)` — pass `|_, _| {}` to ignore.
+    pub fn measure(
+        net: &mut TorNetwork,
+        nodes: Vec<NodeId>,
+        ting: &Ting,
+        mut progress: impl FnMut(usize, usize),
+    ) -> Result<RttMatrix, TingError> {
+        let mut m = RttMatrix::new(nodes);
+        let n = m.len();
+        let total = n * (n - 1) / 2;
+        let mut done = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (m.nodes[i], m.nodes[j]);
+                let measurement = ting.measure_pair(net, a, b)?;
+                m.set(a, b, measurement.estimate_ms());
+                done += 1;
+                progress(done, total);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Parses the [`RttMatrix::to_tsv`] format.
+    pub fn from_tsv(text: &str) -> Result<RttMatrix, String> {
+        let mut lines = text.lines();
+        let _magic = lines.next().ok_or("empty input")?;
+        let nodes_line = lines.next().ok_or("missing node list")?;
+        let nodes: Vec<NodeId> = nodes_line
+            .trim_start_matches("# nodes:")
+            .split_whitespace()
+            .map(|t| t.parse::<u32>().map(NodeId).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        let mut m = RttMatrix::new(nodes);
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut f = line.split('\t');
+            let parse = |t: Option<&str>| -> Result<f64, String> {
+                t.ok_or_else(|| format!("line {}: missing field", lineno + 3))?
+                    .parse::<f64>()
+                    .map_err(|e| e.to_string())
+            };
+            let a = parse(f.next())? as u32;
+            let b = parse(f.next())? as u32;
+            let v = parse(f.next())?;
+            m.set(NodeId(a), NodeId(b), v);
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn set_get_symmetric() {
+        let mut m = RttMatrix::new(nodes(4));
+        m.set(NodeId(1), NodeId(3), 42.5);
+        assert_eq!(m.get(NodeId(1), NodeId(3)), Some(42.5));
+        assert_eq!(m.get(NodeId(3), NodeId(1)), Some(42.5));
+        assert_eq!(m.get(NodeId(0), NodeId(2)), None);
+        assert_eq!(m.get(NodeId(2), NodeId(2)), Some(0.0));
+    }
+
+    #[test]
+    fn completeness_tracking() {
+        let mut m = RttMatrix::new(nodes(3));
+        assert!(!m.is_complete());
+        m.set(NodeId(0), NodeId(1), 1.0);
+        m.set(NodeId(0), NodeId(2), 2.0);
+        assert_eq!(m.measured_pairs(), 2);
+        m.set(NodeId(1), NodeId(2), 3.0);
+        assert!(m.is_complete());
+        assert_eq!(m.mean_rtt_ms(), Some(2.0));
+    }
+
+    #[test]
+    fn pairs_iterate_upper_triangle_once() {
+        let mut m = RttMatrix::new(nodes(3));
+        m.set(NodeId(2), NodeId(0), 9.0); // reversed order on set
+        let pairs: Vec<_> = m.pairs().collect();
+        assert_eq!(pairs, vec![(NodeId(0), NodeId(2), 9.0)]);
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let mut m = RttMatrix::new(vec![NodeId(4), NodeId(7), NodeId(9)]);
+        m.set(NodeId(4), NodeId(7), 12.25);
+        m.set(NodeId(7), NodeId(9), 80.5);
+        let tsv = m.to_tsv();
+        let back = RttMatrix::from_tsv(&tsv).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tsv_rejects_garbage() {
+        assert!(RttMatrix::from_tsv("").is_err());
+        assert!(RttMatrix::from_tsv("# x\n# nodes: 1 2\n1\tnope\t3").is_err());
+    }
+
+    #[test]
+    fn overwrite_updates_value() {
+        let mut m = RttMatrix::new(nodes(2));
+        m.set(NodeId(0), NodeId(1), 5.0);
+        m.set(NodeId(1), NodeId(0), 6.0);
+        assert_eq!(m.get(NodeId(0), NodeId(1)), Some(6.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_nodes_rejected() {
+        let _ = RttMatrix::new(vec![NodeId(1), NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        let mut m = RttMatrix::new(nodes(2));
+        m.set(NodeId(0), NodeId(1), f64::NAN);
+    }
+
+    #[test]
+    fn values_match_pairs() {
+        let mut m = RttMatrix::new(nodes(3));
+        m.set(NodeId(0), NodeId(1), 1.0);
+        m.set(NodeId(1), NodeId(2), 2.0);
+        let mut v = m.values();
+        v.sort_by(f64::total_cmp);
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+}

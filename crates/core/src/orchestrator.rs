@@ -1,0 +1,216 @@
+//! Driving Ting measurements over a simulated Tor network.
+//!
+//! [`Ting::measure_pair`] is the top-level operation: build `C_xy`,
+//! `C_x`, `C_y`, attach an echo stream to each, sample RTTs under the
+//! configured [`SamplePolicy`], tear everything down, and return the
+//! [`TingMeasurement`]. Circuits are measured sequentially, exactly as
+//! the published tool does.
+
+use crate::estimator::{CircuitSamples, TingMeasurement};
+use crate::sampling::SamplePolicy;
+use netsim::NodeId;
+use tor_sim::TorNetwork;
+
+/// Ting configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TingConfig {
+    /// Sampling policy per circuit.
+    pub policy: SamplePolicy,
+    /// Echo payload size in bytes (one cell each way regardless; the
+    /// paper's probes are tiny).
+    pub payload_len: usize,
+    /// Pause between consecutive probes on a circuit, ms (gives relay
+    /// queues a chance to drain, as a polite real deployment would).
+    pub probe_spacing_ms: f64,
+}
+
+impl Default for TingConfig {
+    fn default() -> Self {
+        TingConfig {
+            policy: SamplePolicy::paper_accurate(),
+            payload_len: 8,
+            probe_spacing_ms: 5.0,
+        }
+    }
+}
+
+impl TingConfig {
+    /// The §4.4 fast preset (~5% error, seconds per pair).
+    pub fn fast() -> TingConfig {
+        TingConfig {
+            policy: SamplePolicy::paper_fast(),
+            ..Default::default()
+        }
+    }
+
+    /// Fixed-count sampling.
+    pub fn with_samples(n: usize) -> TingConfig {
+        TingConfig {
+            policy: SamplePolicy::FixedCount(n),
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a measurement failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TingError {
+    /// A circuit could not be built through the given relays.
+    CircuitBuildFailed { path: Vec<NodeId> },
+    /// The echo stream never connected.
+    StreamFailed,
+    /// A probe got no echo back (circuit died mid-measurement).
+    ProbeLost,
+}
+
+/// The Ting measurement driver.
+#[derive(Debug, Clone, Default)]
+pub struct Ting {
+    pub config: TingConfig,
+}
+
+impl Ting {
+    pub fn new(config: TingConfig) -> Ting {
+        Ting { config }
+    }
+
+    /// Measures `R(x, y)` per §3.3: the three circuits, minima, Eq. (4).
+    pub fn measure_pair(
+        &self,
+        net: &mut TorNetwork,
+        x: NodeId,
+        y: NodeId,
+    ) -> Result<TingMeasurement, TingError> {
+        let started = net.sim.now();
+        let (w, z) = (net.local_w, net.local_z);
+        let full = self.sample_circuit(net, vec![w, x, y, z])?;
+        let x_leg = self.sample_circuit(net, vec![w, x])?;
+        let y_leg = self.sample_circuit(net, vec![w, y])?;
+        let elapsed_s = (net.sim.now() - started).as_secs_f64();
+        Ok(TingMeasurement {
+            full,
+            x_leg,
+            y_leg,
+            elapsed_s,
+        })
+    }
+
+    /// Builds one circuit, attaches an echo stream, samples RTTs under
+    /// the policy, and tears the circuit down.
+    pub fn sample_circuit(
+        &self,
+        net: &mut TorNetwork,
+        path: Vec<NodeId>,
+    ) -> Result<CircuitSamples, TingError> {
+        let circuit = net
+            .controller
+            .build_and_wait(&mut net.sim, path.clone())
+            .ok_or(TingError::CircuitBuildFailed { path })?;
+        let echo = net.echo_server;
+        let stream = net
+            .controller
+            .open_stream_and_wait(&mut net.sim, circuit, echo)
+            .ok_or(TingError::StreamFailed)?;
+
+        let mut samples: Vec<f64> = Vec::new();
+        while self.config.policy.wants_more(&samples) {
+            if self.config.probe_spacing_ms > 0.0 && !samples.is_empty() {
+                let t = net.sim.now()
+                    + netsim::SimDuration::from_millis_f64(self.config.probe_spacing_ms);
+                net.sim.advance_to(t);
+            }
+            let rtt = net
+                .controller
+                .echo_roundtrip_ms(&mut net.sim, stream, vec![0xA5; self.config.payload_len])
+                .ok_or(TingError::ProbeLost)?;
+            samples.push(rtt);
+        }
+
+        net.controller.close_stream(&mut net.sim, stream);
+        net.controller.close_circuit(&mut net.sim, circuit);
+        net.sim.run_until_idle();
+        Ok(CircuitSamples::new(samples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tor_sim::TorNetworkBuilder;
+
+    fn quick_ting() -> Ting {
+        Ting::new(TingConfig::with_samples(30))
+    }
+
+    #[test]
+    fn estimate_close_to_ground_truth() {
+        let mut net = TorNetworkBuilder::testbed(11).build();
+        let (x, y) = (net.relays[2], net.relays[25]);
+        let truth = net.true_rtt_ms(x, y);
+        let m = quick_ting().measure_pair(&mut net, x, y).expect("measured");
+        let est = m.estimate_ms();
+        // Estimate = truth + F_x + F_y (0–3 ms floors) + residual noise.
+        let err = (est - truth).abs();
+        assert!(
+            err < truth * 0.25 + 8.0,
+            "estimate {est} vs truth {truth} (err {err})"
+        );
+        assert!(est > 0.0);
+    }
+
+    #[test]
+    fn estimates_preserve_rank_order() {
+        // Even a quick measurement should rank a nearby pair below a
+        // far-apart pair (the Spearman-ρ headline depends on this).
+        let mut net = TorNetworkBuilder::testbed(12).build();
+        let pairs = [
+            (net.relays[0], net.relays[1]),
+            (net.relays[3], net.relays[9]),
+            (net.relays[14], net.relays[30]),
+        ];
+        let ting = quick_ting();
+        let mut truth: Vec<f64> = Vec::new();
+        let mut est: Vec<f64> = Vec::new();
+        for &(x, y) in &pairs {
+            truth.push(net.true_rtt_ms(x, y));
+            est.push(ting.measure_pair(&mut net, x, y).unwrap().estimate_ms());
+        }
+        let rho = stats::spearman(&truth, &est).unwrap();
+        assert!(rho > 0.9, "rank correlation {rho}");
+    }
+
+    #[test]
+    fn measurement_reports_elapsed_time() {
+        let mut net = TorNetworkBuilder::testbed(13).build();
+        let (x, y) = (net.relays[4], net.relays[5]);
+        let m = quick_ting().measure_pair(&mut net, x, y).unwrap();
+        assert!(m.elapsed_s > 0.0);
+        assert_eq!(m.total_samples(), 90);
+    }
+
+    #[test]
+    fn early_stop_uses_fewer_samples() {
+        let mut net = TorNetworkBuilder::testbed(14).build();
+        let (x, y) = (net.relays[7], net.relays[8]);
+        let accurate = Ting::new(TingConfig::with_samples(100))
+            .measure_pair(&mut net, x, y)
+            .unwrap();
+        let fast = Ting::new(TingConfig::fast())
+            .measure_pair(&mut net, x, y)
+            .unwrap();
+        assert!(fast.total_samples() < accurate.total_samples() / 2);
+        // And still lands near the accurate estimate (§4.4: ~5% error).
+        let rel =
+            (fast.estimate_ms() - accurate.estimate_ms()).abs() / accurate.estimate_ms().max(1.0);
+        assert!(rel < 0.25, "fast estimate off by {rel}");
+    }
+
+    #[test]
+    fn unbuildable_circuit_is_an_error() {
+        let mut net = TorNetworkBuilder::testbed(15).build();
+        let bogus = netsim::NodeId(9999);
+        let first = net.relays[0];
+        let err = quick_ting().measure_pair(&mut net, bogus, first);
+        assert!(matches!(err, Err(TingError::CircuitBuildFailed { .. })));
+    }
+}

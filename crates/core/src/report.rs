@@ -1,0 +1,204 @@
+//! Measurement-campaign reports.
+//!
+//! A deployment that publishes Ting datasets (as the authors did at
+//! `cs.umd.edu/projects/ting`) wants a human-readable summary next to
+//! the raw TSV: population, coverage, RTT distribution, and data-quality
+//! flags. [`CampaignReport`] renders one from a matrix plus optional
+//! per-pair sample records.
+
+use crate::estimator::TingMeasurement;
+use crate::matrix::RttMatrix;
+use stats::{EmpiricalCdf, MinConvergence};
+use std::fmt::Write as _;
+
+/// Quality flags a campaign can raise about individual pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QualityFlag {
+    /// Estimate is below any plausible floor (negative or ~0): the leg
+    /// circuits were likely measured under different congestion floors.
+    ImplausiblyLow { pair_index: usize },
+    /// The running minimum was still improving when sampling stopped.
+    Unconverged { pair_index: usize },
+}
+
+/// A rendered summary of one measurement campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    pub pairs_measured: usize,
+    pub pairs_expected: usize,
+    pub rtt_min_ms: f64,
+    pub rtt_median_ms: f64,
+    pub rtt_max_ms: f64,
+    pub mean_rtt_ms: f64,
+    pub total_samples: usize,
+    pub flags: Vec<QualityFlag>,
+}
+
+impl CampaignReport {
+    /// Builds the report. `measurements` (optional, index-aligned with
+    /// `matrix.pairs()` order) enables the per-pair quality checks.
+    pub fn build(matrix: &RttMatrix, measurements: &[TingMeasurement]) -> CampaignReport {
+        let values = matrix.values();
+        let n = matrix.len();
+        let cdf = if values.is_empty() {
+            None
+        } else {
+            Some(EmpiricalCdf::new(&values))
+        };
+        let mut flags = Vec::new();
+        let mut total_samples = 0;
+        for (i, m) in measurements.iter().enumerate() {
+            total_samples += m.total_samples();
+            if m.estimate_ms() < 0.05 {
+                flags.push(QualityFlag::ImplausiblyLow { pair_index: i });
+            }
+            if let Some(conv) = MinConvergence::analyze(&m.full.samples) {
+                // Unconverged: the minimum arrived in the last 5% of
+                // samples, suggesting more sampling would improve it.
+                if conv.samples_to_min * 20 > conv.n * 19 && conv.n >= 20 {
+                    flags.push(QualityFlag::Unconverged { pair_index: i });
+                }
+            }
+        }
+        CampaignReport {
+            pairs_measured: matrix.measured_pairs(),
+            pairs_expected: n * n.saturating_sub(1) / 2,
+            rtt_min_ms: cdf.as_ref().map(|c| c.min()).unwrap_or(0.0),
+            rtt_median_ms: cdf.as_ref().map(|c| c.median()).unwrap_or(0.0),
+            rtt_max_ms: cdf.as_ref().map(|c| c.max()).unwrap_or(0.0),
+            mean_rtt_ms: matrix.mean_rtt_ms().unwrap_or(0.0),
+            total_samples,
+            flags,
+        }
+    }
+
+    /// Coverage fraction.
+    pub fn coverage(&self) -> f64 {
+        if self.pairs_expected == 0 {
+            return 1.0;
+        }
+        self.pairs_measured as f64 / self.pairs_expected as f64
+    }
+
+    /// Renders the human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "ting measurement campaign");
+        let _ = writeln!(
+            out,
+            "  coverage : {}/{} pairs ({:.1}%)",
+            self.pairs_measured,
+            self.pairs_expected,
+            self.coverage() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  rtt      : min {:.1} / median {:.1} / max {:.1} ms (mean {:.1})",
+            self.rtt_min_ms, self.rtt_median_ms, self.rtt_max_ms, self.mean_rtt_ms
+        );
+        let _ = writeln!(out, "  samples  : {}", self.total_samples);
+        if self.flags.is_empty() {
+            let _ = writeln!(out, "  quality  : no flags");
+        } else {
+            let _ = writeln!(out, "  quality  : {} flags", self.flags.len());
+            for f in &self.flags {
+                let _ = writeln!(out, "    - {f:?}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::CircuitSamples;
+    use netsim::NodeId;
+
+    fn measurement(full: Vec<f64>, leg: f64) -> TingMeasurement {
+        TingMeasurement {
+            full: CircuitSamples::new(full),
+            x_leg: CircuitSamples::new(vec![leg]),
+            y_leg: CircuitSamples::new(vec![leg]),
+            elapsed_s: 1.0,
+        }
+    }
+
+    fn small_matrix() -> RttMatrix {
+        let mut m = RttMatrix::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        m.set(NodeId(0), NodeId(1), 50.0);
+        m.set(NodeId(0), NodeId(2), 120.0);
+        m
+    }
+
+    #[test]
+    fn coverage_and_distribution() {
+        let m = small_matrix();
+        let r = CampaignReport::build(&m, &[]);
+        assert_eq!(r.pairs_measured, 2);
+        assert_eq!(r.pairs_expected, 3);
+        assert!((r.coverage() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.rtt_min_ms, 50.0);
+        assert_eq!(r.rtt_max_ms, 120.0);
+        assert_eq!(r.mean_rtt_ms, 85.0);
+    }
+
+    #[test]
+    fn flags_implausibly_low_estimates() {
+        let m = small_matrix();
+        // full min 10, legs 10 each → estimate = 10 − 5 − 5 = 0.
+        let bad = measurement(vec![10.0; 25], 10.0);
+        let good = measurement(vec![100.0; 25], 20.0);
+        let r = CampaignReport::build(&m, &[bad, good]);
+        assert!(r
+            .flags
+            .iter()
+            .any(|f| matches!(f, QualityFlag::ImplausiblyLow { pair_index: 0 })));
+        assert!(!r
+            .flags
+            .iter()
+            .any(|f| matches!(f, QualityFlag::ImplausiblyLow { pair_index: 1 })));
+    }
+
+    #[test]
+    fn flags_unconverged_minimum() {
+        // Minimum arrives at the very last sample of 40.
+        let mut samples = vec![100.0; 39];
+        samples.push(80.0);
+        let m = small_matrix();
+        let r = CampaignReport::build(&m, &[measurement(samples, 10.0)]);
+        assert!(r
+            .flags
+            .iter()
+            .any(|f| matches!(f, QualityFlag::Unconverged { pair_index: 0 })));
+    }
+
+    #[test]
+    fn converged_minimum_not_flagged() {
+        let mut samples = vec![80.0];
+        samples.extend(vec![100.0; 39]);
+        let m = small_matrix();
+        let r = CampaignReport::build(&m, &[measurement(samples, 10.0)]);
+        assert!(!r
+            .flags
+            .iter()
+            .any(|f| matches!(f, QualityFlag::Unconverged { .. })));
+    }
+
+    #[test]
+    fn render_is_stable_text() {
+        let m = small_matrix();
+        let r = CampaignReport::build(&m, &[]);
+        let text = r.render();
+        assert!(text.contains("coverage : 2/3"));
+        assert!(text.contains("no flags"));
+    }
+
+    #[test]
+    fn empty_matrix_report() {
+        let m = RttMatrix::new(vec![NodeId(0)]);
+        let r = CampaignReport::build(&m, &[]);
+        assert_eq!(r.pairs_expected, 0);
+        assert_eq!(r.coverage(), 1.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Incremental all-pairs scanning with caching (§4.6's workflow).
+//!
+//! "Taking measurements with Ting infrequently and caching them is
+//! sufficient, and thus permits obtaining a large dataset of RTTs
+//! between Tor nodes." A realistic deployment does not re-measure 1225
+//! pairs every hour: it keeps a cache, spends a bounded measurement
+//! budget per round, and prioritizes pairs that were never measured or
+//! whose estimates have gone stale. [`Scanner`] implements that loop on
+//! top of [`crate::matrix::RttMatrix`].
+
+use crate::matrix::RttMatrix;
+use crate::orchestrator::{Ting, TingError};
+use netsim::{NodeId, SimTime};
+use std::collections::HashMap;
+use tor_sim::TorNetwork;
+
+/// Scanner policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScannerConfig {
+    /// Estimates older than this are stale and get re-measured.
+    pub staleness: netsim::SimDuration,
+    /// Maximum pairs measured per round (rate limiting; the paper is
+    /// explicit that Ting "imposes little communication or
+    /// computational overhead on the Tor network" — a deployment keeps
+    /// it that way).
+    pub pairs_per_round: usize,
+}
+
+impl Default for ScannerConfig {
+    fn default() -> Self {
+        ScannerConfig {
+            // §4.6 measured stability over a week; a day is comfortably
+            // inside the window where estimates stay representative.
+            staleness: netsim::SimDuration::from_hours(24),
+            pairs_per_round: 50,
+        }
+    }
+}
+
+/// Outcome of one scan round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundReport {
+    pub measured: usize,
+    pub failed: usize,
+    pub still_pending: usize,
+}
+
+/// A caching, prioritizing all-pairs scanner.
+pub struct Scanner {
+    config: ScannerConfig,
+    matrix: RttMatrix,
+    measured_at: HashMap<(NodeId, NodeId), SimTime>,
+}
+
+impl Scanner {
+    /// Creates a scanner over a fixed relay set.
+    pub fn new(nodes: Vec<NodeId>, config: ScannerConfig) -> Scanner {
+        Scanner {
+            config,
+            matrix: RttMatrix::new(nodes),
+            measured_at: HashMap::new(),
+        }
+    }
+
+    /// The current cached dataset.
+    pub fn matrix(&self) -> &RttMatrix {
+        &self.matrix
+    }
+
+    /// When `pair` was last measured, if ever.
+    pub fn measured_at(&self, a: NodeId, b: NodeId) -> Option<SimTime> {
+        self.measured_at.get(&key(a, b)).copied()
+    }
+
+    /// Pairs the scanner would measure next, most urgent first:
+    /// never-measured pairs, then stale ones, oldest first.
+    pub fn plan_round(&self, now: SimTime) -> Vec<(NodeId, NodeId)> {
+        let nodes = self.matrix.nodes().to_vec();
+        let mut unmeasured = Vec::new();
+        let mut stale: Vec<((NodeId, NodeId), SimTime)> = Vec::new();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                match self.measured_at.get(&key(a, b)) {
+                    None => unmeasured.push((a, b)),
+                    Some(&t) => {
+                        if now.since(t) >= self.config.staleness {
+                            stale.push(((a, b), t));
+                        }
+                    }
+                }
+            }
+        }
+        stale.sort_by_key(|&(_, t)| t);
+        unmeasured
+            .into_iter()
+            .chain(stale.into_iter().map(|(p, _)| p))
+            .take(self.config.pairs_per_round)
+            .collect()
+    }
+
+    /// Executes one round against the network. Failed measurements
+    /// (circuit build failures on churned relays) stay pending for the
+    /// next round rather than poisoning the cache.
+    pub fn run_round(&mut self, net: &mut TorNetwork, ting: &Ting) -> RoundReport {
+        let plan = self.plan_round(net.sim.now());
+        let mut measured = 0;
+        let mut failed = 0;
+        for (a, b) in plan {
+            match ting.measure_pair(net, a, b) {
+                Ok(m) => {
+                    self.matrix.set(a, b, m.estimate_ms());
+                    self.measured_at.insert(key(a, b), net.sim.now());
+                    measured += 1;
+                }
+                Err(TingError::CircuitBuildFailed { .. })
+                | Err(TingError::StreamFailed)
+                | Err(TingError::ProbeLost) => {
+                    failed += 1;
+                }
+            }
+        }
+        RoundReport {
+            measured,
+            failed,
+            still_pending: self.plan_round(net.sim.now()).len(),
+        }
+    }
+
+    /// Fraction of pairs currently covered by a (possibly stale) cache
+    /// entry.
+    pub fn coverage(&self) -> f64 {
+        let n = self.matrix.len();
+        let total = n * (n - 1) / 2;
+        if total == 0 {
+            return 1.0;
+        }
+        self.matrix.measured_pairs() as f64 / total as f64
+    }
+}
+
+fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orchestrator::TingConfig;
+    use tor_sim::TorNetworkBuilder;
+
+    fn setup(pairs_per_round: usize) -> (tor_sim::TorNetwork, Scanner, Ting) {
+        let net = TorNetworkBuilder::testbed(61).build();
+        let nodes: Vec<NodeId> = net.relays.iter().copied().take(8).collect();
+        let scanner = Scanner::new(
+            nodes,
+            ScannerConfig {
+                staleness: netsim::SimDuration::from_hours(24),
+                pairs_per_round,
+            },
+        );
+        (net, scanner, Ting::new(TingConfig::fast()))
+    }
+
+    #[test]
+    fn rounds_converge_to_full_coverage() {
+        let (mut net, mut scanner, ting) = setup(10);
+        // 8 nodes → 28 pairs → 3 rounds of 10.
+        let r1 = scanner.run_round(&mut net, &ting);
+        assert_eq!(r1.measured, 10);
+        assert!(scanner.coverage() < 1.0);
+        scanner.run_round(&mut net, &ting);
+        let r3 = scanner.run_round(&mut net, &ting);
+        assert_eq!(r3.measured, 8);
+        assert_eq!(scanner.coverage(), 1.0);
+        assert!(scanner.matrix().is_complete());
+        assert_eq!(r3.still_pending, 0);
+    }
+
+    #[test]
+    fn fresh_estimates_are_not_remeasured() {
+        let (mut net, mut scanner, ting) = setup(30);
+        scanner.run_round(&mut net, &ting);
+        assert!(scanner.matrix().is_complete());
+        // Immediately afterwards nothing is stale.
+        assert!(scanner.plan_round(net.sim.now()).is_empty());
+    }
+
+    #[test]
+    fn stale_estimates_get_refreshed_oldest_first() {
+        let (mut net, mut scanner, ting) = setup(30);
+        scanner.run_round(&mut net, &ting);
+        let first_pair = {
+            let nodes = scanner.matrix().nodes();
+            (nodes[0], nodes[1])
+        };
+        let t0 = scanner.measured_at(first_pair.0, first_pair.1).unwrap();
+        // Two days later everything is stale; the plan is non-empty and
+        // ordered oldest-first.
+        let later = netsim::SimTime::ZERO + netsim::SimDuration::from_hours(48);
+        net.sim.advance_to(later);
+        let plan = scanner.plan_round(net.sim.now());
+        assert!(!plan.is_empty());
+        scanner.run_round(&mut net, &ting);
+        let t1 = scanner.measured_at(first_pair.0, first_pair.1).unwrap();
+        assert!(t1 > t0, "stale pair not refreshed");
+    }
+
+    #[test]
+    fn unmeasured_pairs_outrank_stale_ones() {
+        let (mut net, mut scanner, ting) = setup(27);
+        // Measure 27 of 28 pairs; age them; the unmeasured pair must
+        // come first in the next plan.
+        scanner.run_round(&mut net, &ting);
+        let plan_before = scanner.plan_round(net.sim.now());
+        assert_eq!(plan_before.len(), 1, "one pair left unmeasured");
+        let missing = plan_before[0];
+        net.sim
+            .advance_to(netsim::SimTime::ZERO + netsim::SimDuration::from_hours(48));
+        let plan = scanner.plan_round(net.sim.now());
+        assert_eq!(plan[0], missing);
+    }
+
+    #[test]
+    fn coverage_of_empty_scanner() {
+        let scanner = Scanner::new(vec![NodeId(1), NodeId(2)], ScannerConfig::default());
+        assert_eq!(scanner.coverage(), 0.0);
+        assert_eq!(scanner.measured_at(NodeId(1), NodeId(2)), None);
+    }
+}

@@ -1,0 +1,183 @@
+//! Virtual time.
+//!
+//! The simulator's clock is a `u64` count of nanoseconds since the start
+//! of the run. Nanosecond resolution leaves headroom for sub-millisecond
+//! crypto costs while still representing multi-week experiments (Fig. 18
+//! simulates two months ≈ 5.2 × 10¹⁵ ns, far below `u64::MAX`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A span of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub fn from_nanos(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    pub fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000)
+    }
+
+    pub fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    pub fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    pub fn from_hours(h: u64) -> SimDuration {
+        SimDuration::from_secs(h * 3600)
+    }
+
+    pub fn from_days(d: u64) -> SimDuration {
+        SimDuration::from_hours(d * 24)
+    }
+
+    /// Converts a (possibly fractional) millisecond count, rounding to
+    /// the nearest nanosecond. Negative values clamp to zero — delay
+    /// models can mathematically produce tiny negative values after
+    /// subtractions, and a delay below zero is meaningless.
+    pub fn from_millis_f64(ms: f64) -> SimDuration {
+        SimDuration((ms.max(0.0) * 1_000_000.0).round() as u64)
+    }
+
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+}
+
+/// An instant of virtual time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Hours since simulation start, fractional. The diurnal load model
+    /// keys off this.
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// Saturating difference.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimDuration::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimDuration::from_secs(2).as_millis_f64(), 2000.0);
+        assert_eq!(SimDuration::from_hours(1).as_secs_f64(), 3600.0);
+        assert_eq!(SimDuration::from_days(2), SimDuration::from_hours(48));
+        assert_eq!(SimDuration::from_micros(1500).as_millis_f64(), 1.5);
+    }
+
+    #[test]
+    fn fractional_millis() {
+        let d = SimDuration::from_millis_f64(1.5);
+        assert_eq!(d.as_nanos(), 1_500_000);
+        // Negative clamps to zero.
+        assert_eq!(SimDuration::from_millis_f64(-3.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(10);
+        assert_eq!(t.as_millis_f64(), 10.0);
+        let later = t + SimDuration::from_millis(5);
+        assert_eq!((later - t).as_millis_f64(), 5.0);
+        // Saturating: earlier - later = 0.
+        assert_eq!(t - later, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = SimTime(5);
+        let b = SimTime(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn hours_view() {
+        let t = SimTime::ZERO + SimDuration::from_hours(36);
+        assert_eq!(t.as_hours_f64(), 36.0);
+    }
+
+    #[test]
+    fn two_month_experiment_fits() {
+        let t = SimTime::ZERO + SimDuration::from_days(60);
+        assert!(t.as_nanos() < u64::MAX / 1000);
+    }
+}

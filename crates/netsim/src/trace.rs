@@ -1,0 +1,176 @@
+//! Event tracing.
+//!
+//! A bounded ring buffer of simulator events, attachable to a
+//! [`crate::Simulator`] for debugging and for tests that assert on
+//! *what happened* rather than only on final state. Disabled (zero
+//! cost beyond a branch) unless a tracer is attached.
+
+use crate::sim::{ConnId, NodeId};
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    Delivered {
+        at: SimTime,
+        conn: ConnId,
+        to: NodeId,
+        bytes: usize,
+    },
+    ConnOpened {
+        at: SimTime,
+        conn: ConnId,
+        opener: NodeId,
+        acceptor: NodeId,
+    },
+    ConnClosed {
+        at: SimTime,
+        conn: ConnId,
+    },
+    TimerFired {
+        at: SimTime,
+        node: NodeId,
+        id: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Delivered { at, .. }
+            | TraceEvent::ConnOpened { at, .. }
+            | TraceEvent::ConnClosed { at, .. }
+            | TraceEvent::TimerFired { at, .. } => at,
+        }
+    }
+}
+
+/// A shared, bounded trace buffer.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Rc<RefCell<VecDeque<TraceEvent>>>,
+    capacity: usize,
+}
+
+impl Tracer {
+    /// A tracer retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Tracer {
+        assert!(capacity > 0);
+        Tracer {
+            inner: Rc::new(RefCell::new(VecDeque::with_capacity(capacity))),
+            capacity,
+        }
+    }
+
+    pub(crate) fn record(&self, event: TraceEvent) {
+        let mut buf = self.inner.borrow_mut();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event);
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&self) {
+        self.inner.borrow_mut().clear();
+    }
+
+    /// Events involving one node (as receiver / opener / acceptor /
+    /// timer owner).
+    pub fn for_node(&self, node: NodeId) -> Vec<TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| match *e {
+                TraceEvent::Delivered { to, .. } => to == node,
+                TraceEvent::ConnOpened {
+                    opener, acceptor, ..
+                } => opener == node || acceptor == node,
+                TraceEvent::ConnClosed { .. } => false,
+                TraceEvent::TimerFired { node: n, .. } => n == node,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent::TimerFired {
+            at: SimTime(n),
+            node: NodeId(0),
+            id: n,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let t = Tracer::new(10);
+        for i in 0..5 {
+            t.record(ev(i));
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.at(), SimTime(i as u64));
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let t = Tracer::new(3);
+        for i in 0..10 {
+            t.record(ev(i));
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at(), SimTime(7));
+        assert_eq!(events[2].at(), SimTime(9));
+    }
+
+    #[test]
+    fn node_filter() {
+        let t = Tracer::new(10);
+        t.record(TraceEvent::TimerFired {
+            at: SimTime(1),
+            node: NodeId(1),
+            id: 0,
+        });
+        t.record(TraceEvent::TimerFired {
+            at: SimTime(2),
+            node: NodeId(2),
+            id: 0,
+        });
+        assert_eq!(t.for_node(NodeId(1)).len(), 1);
+        assert_eq!(t.for_node(NodeId(3)).len(), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let t = Tracer::new(4);
+        t.record(ev(0));
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

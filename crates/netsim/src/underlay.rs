@@ -1,0 +1,761 @@
+//! The underlay: who is where, how ASes route between each other, and
+//! what one packet's one-way delay is at a given moment.
+//!
+//! The model, bottom-up:
+//!
+//! * Every node lives in an **AS**. An AS has a hub location (a city),
+//!   an access-delay range its customers draw from (last-mile latency),
+//!   a jitter scale, a diurnal load phase, and a [`ProtocolPolicy`].
+//! * The **base path latency** between two nodes in different ASes is
+//!   speed-of-light-in-fiber over `node → hubA → hubB → node`, with the
+//!   hub-to-hub leg multiplied by a per-AS-pair *inflation factor* drawn
+//!   once at build time. Inflation is what creates triangle-inequality
+//!   violations: if inflation(A,B) is large while inflation(A,C) and
+//!   inflation(C,B) are small, relaying via C beats the direct path —
+//!   precisely the structure §5.2.1 of the paper discovers in Tor.
+//! * The **per-packet delay** adds exponential jitter plus occasional
+//!   queueing spikes, both scaled by the AS's diurnal load curve. Minima
+//!   of repeated samples converge slowly (Fig. 6) but surely (Fig. 7).
+//! * The **policy** adds protocol-class-specific extra delay: some ASes
+//!   deprioritize ICMP, some shape Tor-port traffic, a few carry Tor on
+//!   a *better* path than ICMP (which is how the paper ends up measuring
+//!   negative forwarding delays in Fig. 5).
+
+use geo::{great_circle_km, GeoPoint, FIBER_KM_PER_MS};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::time::SimTime;
+
+/// Identifies an autonomous system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AsId(pub u16);
+
+/// The traffic classes the policy model can discriminate between.
+///
+/// `Tor` is TCP to/from an ORPort — distinguishable by port, and in
+/// practice by DPI, which is why the paper "expected network operators
+/// to, e.g., apply additional firewall or monitoring rules" (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    Icmp,
+    Tcp,
+    Tor,
+}
+
+/// Extra one-way delay (ms) an AS imposes per traffic class.
+///
+/// All-zero means the AS treats every packet identically; the paper found
+/// ~65% of its PlanetLab networks behaved that way (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProtocolPolicy {
+    pub icmp_extra_ms: f64,
+    pub tcp_extra_ms: f64,
+    pub tor_extra_ms: f64,
+}
+
+impl ProtocolPolicy {
+    /// No discrimination.
+    pub fn neutral() -> ProtocolPolicy {
+        ProtocolPolicy::default()
+    }
+
+    /// ICMP handled on the slow path (classic router behaviour: echo
+    /// processed in the control plane).
+    pub fn icmp_deprioritized(extra_ms: f64) -> ProtocolPolicy {
+        ProtocolPolicy {
+            icmp_extra_ms: extra_ms,
+            ..Default::default()
+        }
+    }
+
+    /// Tor-port traffic shaped/inspected.
+    pub fn tor_shaped(extra_ms: f64) -> ProtocolPolicy {
+        ProtocolPolicy {
+            tor_extra_ms: extra_ms,
+            ..Default::default()
+        }
+    }
+
+    /// All TCP (including Tor) slowed relative to ICMP — produces the
+    /// *positive* forwarding-delay anomalies of Fig. 5, while
+    /// [`ProtocolPolicy::icmp_deprioritized`] produces the negative ones.
+    pub fn tcp_shaped(extra_ms: f64) -> ProtocolPolicy {
+        ProtocolPolicy {
+            tcp_extra_ms: extra_ms,
+            tor_extra_ms: extra_ms,
+            ..Default::default()
+        }
+    }
+
+    /// The extra delay for one class.
+    pub fn extra_ms(&self, class: TrafficClass) -> f64 {
+        match class {
+            TrafficClass::Icmp => self.icmp_extra_ms,
+            TrafficClass::Tcp => self.tcp_extra_ms,
+            TrafficClass::Tor => self.tor_extra_ms,
+        }
+    }
+
+    /// Whether this AS treats any class differently from another.
+    pub fn discriminates(&self) -> bool {
+        self.icmp_extra_ms != self.tcp_extra_ms
+            || self.tcp_extra_ms != self.tor_extra_ms
+            || self.icmp_extra_ms != self.tor_extra_ms
+    }
+}
+
+/// Static description of one AS.
+#[derive(Debug, Clone)]
+pub struct AsProfile {
+    pub hub: GeoPoint,
+    pub name: String,
+    /// Last-mile delay range (ms, one-way) its customer nodes draw from.
+    pub access_delay_ms: (f64, f64),
+    /// Mean of the exponential per-packet jitter at off-peak (ms).
+    pub jitter_mean_ms: f64,
+    /// Probability a packet hits a queueing spike.
+    pub spike_prob: f64,
+    /// Mean spike magnitude (ms, exponential).
+    pub spike_mean_ms: f64,
+    /// Phase offset of the diurnal load curve (hours).
+    pub diurnal_phase_h: f64,
+    /// Amplitude of the diurnal multiplier (0 = flat load).
+    pub diurnal_amplitude: f64,
+    pub policy: ProtocolPolicy,
+}
+
+impl AsProfile {
+    /// A well-behaved datacenter-ish AS at `hub`.
+    pub fn datacenter(name: impl Into<String>, hub: GeoPoint) -> AsProfile {
+        AsProfile {
+            hub,
+            name: name.into(),
+            access_delay_ms: (0.05, 0.4),
+            jitter_mean_ms: 0.15,
+            spike_prob: 0.02,
+            spike_mean_ms: 2.0,
+            diurnal_phase_h: 0.0,
+            diurnal_amplitude: 0.1,
+            policy: ProtocolPolicy::neutral(),
+        }
+    }
+
+    /// A consumer access network at `hub`: larger last-mile delays,
+    /// more jitter, pronounced evening peak.
+    pub fn residential(name: impl Into<String>, hub: GeoPoint) -> AsProfile {
+        AsProfile {
+            hub,
+            name: name.into(),
+            access_delay_ms: (1.0, 8.0),
+            jitter_mean_ms: 0.6,
+            spike_prob: 0.08,
+            spike_mean_ms: 4.0,
+            diurnal_phase_h: 0.0,
+            diurnal_amplitude: 0.35,
+            policy: ProtocolPolicy::neutral(),
+        }
+    }
+
+    /// The diurnal load multiplier at time `t` (≥ `1 - amplitude`,
+    /// peaking at `1 + amplitude`).
+    pub fn load_factor(&self, t: SimTime) -> f64 {
+        let hours = t.as_hours_f64() + self.diurnal_phase_h;
+        1.0 + self.diurnal_amplitude * (2.0 * std::f64::consts::PI * hours / 24.0).sin()
+    }
+}
+
+/// Static description of one node.
+#[derive(Debug, Clone)]
+pub struct NodeAttrs {
+    pub as_id: AsId,
+    pub location: GeoPoint,
+    /// One-way last-mile delay (ms), drawn from the AS's range.
+    pub access_delay_ms: f64,
+    /// IPv4 address (used by the /24 coverage analysis, Fig. 18).
+    pub ip: [u8; 4],
+}
+
+/// Tunable constants of the latency model.
+#[derive(Debug, Clone, Copy)]
+pub struct UnderlayConfig {
+    /// Multiplier on geodesic fiber time within a single AS.
+    pub intra_as_inflation: f64,
+    /// Minimum inter-AS inflation factor.
+    pub inter_as_inflation_min: f64,
+    /// Mean of the exponential part of inter-AS inflation.
+    pub inter_as_inflation_exp_mean: f64,
+    /// Hard cap on inter-AS inflation.
+    pub inter_as_inflation_max: f64,
+    /// Probability an AS pair routes "performance-insensitively" (large
+    /// fixed inflation — the substantial TIVs of Fig. 15).
+    pub bad_route_prob: f64,
+    /// Inflation applied to such unlucky pairs.
+    pub bad_route_inflation: f64,
+    /// Range of the fixed per-AS-pair peering overhead (ms, one-way):
+    /// even co-located ASes exchange traffic through IXPs and transit
+    /// providers, so inter-AS paths never cost zero propagation.
+    pub peering_ms: (f64, f64),
+    /// One-way delay between two processes on the same host (ms).
+    pub loopback_ms: f64,
+    /// Per-packet serialization/forwarding floor (ms) added per path.
+    pub path_floor_ms: f64,
+    /// Amplitude of the slowly-drifting congestion floor (ms): every
+    /// [`UnderlayConfig::drift_epoch_hours`], each node pair's floor
+    /// moves to a new value in `[0, drift_ms + drift_rel · base]`.
+    /// This is why week-long hourly Ting estimates vary slightly
+    /// (Figs. 9–10) even though each snapshot min-filters its jitter.
+    pub drift_ms: f64,
+    /// Relative component of the drift amplitude.
+    pub drift_rel: f64,
+    /// How long one congestion epoch lasts.
+    pub drift_epoch_hours: f64,
+    /// Per-packet loss probability on inter-AS paths. Default 0: the
+    /// measurement experiments model an uncongested control path (a
+    /// lost probe would simply re-sample — TCP retransmission sits
+    /// below the application's RTT observation). Set non-zero to
+    /// exercise loss handling: affected packets are delivered late by
+    /// one retransmission timeout instead of vanishing.
+    pub loss_prob: f64,
+    /// Extra delay a retransmitted packet suffers (ms) — one RTO.
+    pub retransmit_penalty_ms: f64,
+}
+
+impl Default for UnderlayConfig {
+    fn default() -> Self {
+        UnderlayConfig {
+            intra_as_inflation: 1.4,
+            inter_as_inflation_min: 1.12,
+            inter_as_inflation_exp_mean: 0.5,
+            inter_as_inflation_max: 4.0,
+            bad_route_prob: 0.10,
+            bad_route_inflation: 2.8,
+            peering_ms: (0.3, 2.0),
+            loopback_ms: 0.03,
+            path_floor_ms: 0.10,
+            drift_ms: 1.2,
+            drift_rel: 0.015,
+            drift_epoch_hours: 2.0,
+            loss_prob: 0.0,
+            retransmit_penalty_ms: 200.0,
+        }
+    }
+}
+
+/// The full underlay: AS table, node table, cached pairwise inflation,
+/// and the per-packet delay sampler.
+#[derive(Debug, Clone)]
+pub struct Underlay {
+    config: UnderlayConfig,
+    ases: Vec<AsProfile>,
+    nodes: Vec<NodeAttrs>,
+    /// Per-unordered-AS-pair route properties (inflation factor and
+    /// fixed peering overhead), lazily drawn but deterministic: keyed
+    /// RNG from the build seed and the pair.
+    inflation_cache: HashMap<(AsId, AsId), (f64, f64)>,
+    seed: u64,
+}
+
+impl Underlay {
+    /// Creates an empty underlay with the given model constants. `seed`
+    /// fixes all per-pair routing draws.
+    pub fn new(config: UnderlayConfig, seed: u64) -> Underlay {
+        Underlay {
+            config,
+            ases: Vec::new(),
+            nodes: Vec::new(),
+            inflation_cache: HashMap::new(),
+            seed,
+        }
+    }
+
+    /// Registers an AS; returns its id.
+    pub fn add_as(&mut self, profile: AsProfile) -> AsId {
+        let id = AsId(u16::try_from(self.ases.len()).expect("too many ASes"));
+        self.ases.push(profile);
+        id
+    }
+
+    /// Registers a node; returns its dense index (the simulator wraps it
+    /// in a `NodeId`).
+    pub fn add_node(&mut self, attrs: NodeAttrs) -> usize {
+        assert!(
+            (attrs.as_id.0 as usize) < self.ases.len(),
+            "node references unknown AS"
+        );
+        self.nodes.push(attrs);
+        self.nodes.len() - 1
+    }
+
+    /// Convenience: adds a node inside `as_id`, drawing its access delay
+    /// from the AS profile and placing it at `location`.
+    pub fn add_node_in<R: Rng + ?Sized>(
+        &mut self,
+        as_id: AsId,
+        location: GeoPoint,
+        ip: [u8; 4],
+        rng: &mut R,
+    ) -> usize {
+        let (lo, hi) = self.ases[as_id.0 as usize].access_delay_ms;
+        let access_delay_ms = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+        self.add_node(NodeAttrs {
+            as_id,
+            location,
+            access_delay_ms,
+            ip,
+        })
+    }
+
+    pub fn node(&self, idx: usize) -> &NodeAttrs {
+        &self.nodes[idx]
+    }
+
+    /// The model constants this underlay was built with.
+    pub fn config(&self) -> &UnderlayConfig {
+        &self.config
+    }
+
+    pub fn as_profile(&self, id: AsId) -> &AsProfile {
+        &self.ases[id.0 as usize]
+    }
+
+    pub fn as_profile_mut(&mut self, id: AsId) -> &mut AsProfile {
+        &mut self.ases[id.0 as usize]
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn as_count(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// The deterministic inflation factor for an AS pair.
+    pub fn inflation(&mut self, a: AsId, b: AsId) -> f64 {
+        self.route_properties(a, b).0
+    }
+
+    /// The deterministic fixed peering overhead (ms) for an AS pair.
+    pub fn peering_ms(&mut self, a: AsId, b: AsId) -> f64 {
+        self.route_properties(a, b).1
+    }
+
+    /// `(inflation, peering_ms)` for an AS pair, drawn once per pair
+    /// from an RNG keyed on (seed, pair) — deterministic and
+    /// order-independent.
+    pub fn route_properties(&mut self, a: AsId, b: AsId) -> (f64, f64) {
+        if a == b {
+            return (self.config.intra_as_inflation, 0.0);
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&f) = self.inflation_cache.get(&key) {
+            return f;
+        }
+        let pair_seed = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((key.0 .0 as u64) << 32 | key.1 .0 as u64);
+        let mut rng = SmallRng::seed_from_u64(pair_seed);
+        let c = &self.config;
+        let inflation = if rng.gen_bool(c.bad_route_prob) {
+            c.bad_route_inflation
+        } else {
+            let exp: f64 = -rng.gen_range(1e-9..1.0f64).ln() * c.inter_as_inflation_exp_mean;
+            (c.inter_as_inflation_min + exp).min(c.inter_as_inflation_max)
+        };
+        let peering = rng.gen_range(c.peering_ms.0..c.peering_ms.1.max(c.peering_ms.0 + 1e-9));
+        self.inflation_cache.insert(key, (inflation, peering));
+        (inflation, peering)
+    }
+
+    /// The *base* one-way latency (ms) between two nodes for `class`:
+    /// propagation + access + policy, with no jitter. This is the floor
+    /// that minima of repeated measurements converge to.
+    pub fn base_owd_ms(&mut self, from: usize, to: usize, class: TrafficClass) -> f64 {
+        if from == to {
+            return self.config.loopback_ms;
+        }
+        let a = self.nodes[from].clone();
+        let b = self.nodes[to].clone();
+        let policy_extra = (self.ases[a.as_id.0 as usize].policy.extra_ms(class)
+            + self.ases[b.as_id.0 as usize].policy.extra_ms(class))
+            / 2.0;
+        let propagation = if a.as_id == b.as_id {
+            let d = great_circle_km(a.location, b.location);
+            d * self.config.intra_as_inflation / FIBER_KM_PER_MS
+        } else {
+            let hub_a = self.ases[a.as_id.0 as usize].hub;
+            let hub_b = self.ases[b.as_id.0 as usize].hub;
+            let (infl, peering) = self.route_properties(a.as_id, b.as_id);
+            (great_circle_km(a.location, hub_a)
+                + great_circle_km(hub_b, b.location)
+                + great_circle_km(hub_a, hub_b) * infl)
+                / FIBER_KM_PER_MS
+                + peering
+        };
+        self.config.path_floor_ms
+            + a.access_delay_ms
+            + b.access_delay_ms
+            + propagation
+            + policy_extra
+    }
+
+    /// Base round-trip latency (ms) — twice the one-way base, since the
+    /// model is direction-symmetric.
+    pub fn base_rtt_ms(&mut self, a: usize, b: usize, class: TrafficClass) -> f64 {
+        2.0 * self.base_owd_ms(a, b, class)
+    }
+
+    /// The congestion-floor drift (ms) for a node pair at time `t`: a
+    /// deterministic value that steps to a fresh uniform draw each
+    /// epoch. Affects every protocol equally (it is path congestion),
+    /// so probes taken at the same time still cancel it.
+    pub fn drift_ms(&self, from: usize, to: usize, t: SimTime) -> f64 {
+        let c = &self.config;
+        if c.drift_ms == 0.0 && c.drift_rel == 0.0 {
+            return 0.0;
+        }
+        if from == to {
+            return 0.0;
+        }
+        // Keyed by AS pair: congestion lives on inter-AS paths, so two
+        // co-located nodes (the paper's w and z) see identical drift to
+        // any third host — which is what lets Ting's subtractions
+        // cancel it.
+        let as_a = self.nodes[from].as_id.0 as usize;
+        let as_b = self.nodes[to].as_id.0 as usize;
+        if as_a == as_b {
+            return 0.0;
+        }
+        let (lo, hi) = if as_a <= as_b {
+            (as_a, as_b)
+        } else {
+            (as_b, as_a)
+        };
+        let epoch = (t.as_hours_f64() / c.drift_epoch_hours) as u64;
+        // SplitMix64-style hash of (seed, pair, epoch) → uniform [0,1).
+        let mut h = self
+            .seed
+            .wrapping_add((lo as u64) << 40)
+            .wrapping_add((hi as u64) << 20)
+            .wrapping_add(epoch);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        // Amplitude grows with path length (long paths cross more
+        // congested links); use the hub-to-hub geodesic.
+        let base =
+            geo::great_circle_km(self.ases[lo].hub, self.ases[hi].hub) / geo::FIBER_KM_PER_MS;
+        let mut drift = u * (c.drift_ms + c.drift_rel * base);
+        // Occasionally an epoch lands on a shifted route (a BGP change
+        // or sustained congestion) that min-filtering cannot hide — the
+        // outliers visible in the paper's Fig. 10 box plots.
+        let mut h2 = h.wrapping_mul(0x2545_f491_4f6c_dd1d).rotate_left(17);
+        h2 ^= h2 >> 29;
+        let u2 = (h2 >> 11) as f64 / (1u64 << 53) as f64;
+        if u2 < 0.005 {
+            // ~0.5%/epoch ⇒ about a third of pairs see one shift in a
+            // week of 2 h epochs, matching Fig. 10's outlier share.
+            let u3 = (h2 & 0xffff) as f64 / 65536.0;
+            drift += (2.0 + 0.12 * base) * (0.5 + u3);
+        }
+        drift
+    }
+
+    /// Samples one packet's one-way delay (ms) at time `t`.
+    pub fn sample_owd_ms<R: Rng + ?Sized>(
+        &mut self,
+        from: usize,
+        to: usize,
+        class: TrafficClass,
+        t: SimTime,
+        rng: &mut R,
+    ) -> f64 {
+        let base = self.base_owd_ms(from, to, class);
+        if from == to {
+            // Loopback has negligible queueing.
+            return base + rng.gen_range(0.0..0.01);
+        }
+        let a = &self.ases[self.nodes[from].as_id.0 as usize];
+        let b = &self.ases[self.nodes[to].as_id.0 as usize];
+        let load = (a.load_factor(t) + b.load_factor(t)) / 2.0;
+        let jitter_mean = (a.jitter_mean_ms + b.jitter_mean_ms) / 2.0 * load;
+        let jitter = -rng.gen_range(1e-12..1.0f64).ln() * jitter_mean;
+        let spike_prob = ((a.spike_prob + b.spike_prob) / 2.0 * load).min(1.0);
+        let spike = if rng.gen_bool(spike_prob) {
+            let spike_mean = (a.spike_mean_ms + b.spike_mean_ms) / 2.0;
+            -rng.gen_range(1e-12..1.0f64).ln() * spike_mean
+        } else {
+            0.0
+        };
+        // Loss model: a dropped packet is recovered by TCP one RTO
+        // later (reliable delivery is the transport's contract; the
+        // application just sees a slow sample).
+        let retransmit = if self.config.loss_prob > 0.0 && rng.gen_bool(self.config.loss_prob) {
+            self.config.retransmit_penalty_ms
+        } else {
+            0.0
+        };
+        base + self.drift_ms(from, to, t) + jitter + spike + retransmit
+    }
+
+    /// One synthetic ICMP ping RTT sample (ms) at time `t` — the tool the
+    /// paper's ground truth and the strawman both rely on.
+    pub fn ping_rtt_ms<R: Rng + ?Sized>(
+        &mut self,
+        a: usize,
+        b: usize,
+        t: SimTime,
+        rng: &mut R,
+    ) -> f64 {
+        self.sample_owd_ms(a, b, TrafficClass::Icmp, t, rng)
+            + self.sample_owd_ms(b, a, TrafficClass::Icmp, t, rng)
+    }
+
+    /// One TCP-probe RTT sample (ms) at `t` (tcptraceroute in §4.3).
+    pub fn tcp_rtt_ms<R: Rng + ?Sized>(
+        &mut self,
+        a: usize,
+        b: usize,
+        t: SimTime,
+        rng: &mut R,
+    ) -> f64 {
+        self.sample_owd_ms(a, b, TrafficClass::Tcp, t, rng)
+            + self.sample_owd_ms(b, a, TrafficClass::Tcp, t, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo::World;
+
+    fn two_as_underlay() -> (Underlay, usize, usize) {
+        let world = World::new();
+        let mut u = Underlay::new(UnderlayConfig::default(), 42);
+        let nyc = world.city("New York").unwrap().location;
+        let lon = world.city("London").unwrap().location;
+        let a = u.add_as(AsProfile::datacenter("us-east", nyc));
+        let b = u.add_as(AsProfile::datacenter("eu-west", lon));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n0 = u.add_node_in(a, nyc, [10, 0, 0, 1], &mut rng);
+        let n1 = u.add_node_in(b, lon, [10, 1, 0, 1], &mut rng);
+        (u, n0, n1)
+    }
+
+    #[test]
+    fn base_latency_exceeds_lightspeed_bound() {
+        let (mut u, a, b) = two_as_underlay();
+        let rtt = u.base_rtt_ms(a, b, TrafficClass::Tcp);
+        // NYC–London ≥ 55.7 ms at 2/3 c; inflation makes it more.
+        assert!(rtt > 55.0, "rtt {rtt}");
+        assert!(rtt < 400.0, "rtt {rtt}");
+    }
+
+    #[test]
+    fn inflation_is_deterministic_and_symmetric() {
+        let (mut u, _, _) = two_as_underlay();
+        let f1 = u.inflation(AsId(0), AsId(1));
+        let f2 = u.inflation(AsId(1), AsId(0));
+        assert_eq!(f1, f2);
+        assert!(f1 >= 1.15 && f1 <= 3.0, "inflation {f1}");
+        // Rebuilding with the same seed gives the same draw.
+        let (mut u2, _, _) = two_as_underlay();
+        assert_eq!(u2.inflation(AsId(0), AsId(1)), f1);
+    }
+
+    #[test]
+    fn loopback_is_fast() {
+        let (mut u, a, _) = two_as_underlay();
+        let ms = u.base_owd_ms(a, a, TrafficClass::Tcp);
+        assert!(ms < 0.1, "loopback {ms}");
+    }
+
+    #[test]
+    fn samples_never_undershoot_base() {
+        let (mut u, a, b) = two_as_underlay();
+        let base = u.base_owd_ms(a, b, TrafficClass::Tcp);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let s = u.sample_owd_ms(a, b, TrafficClass::Tcp, SimTime::ZERO, &mut rng);
+            assert!(s >= base, "sample {s} below base {base}");
+        }
+    }
+
+    #[test]
+    fn minimum_of_many_samples_approaches_base_plus_drift() {
+        let (mut u, a, b) = two_as_underlay();
+        let base = u.base_owd_ms(a, b, TrafficClass::Tcp);
+        let drift = u.drift_ms(a, b, SimTime::ZERO);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let min = (0..2000)
+            .map(|_| u.sample_owd_ms(a, b, TrafficClass::Tcp, SimTime::ZERO, &mut rng))
+            .fold(f64::INFINITY, f64::min);
+        // Within one epoch the floor is base + drift; jitter's minimum
+        // over 2000 draws is tiny.
+        assert!(
+            min - (base + drift) < 0.1,
+            "min {min} vs floor {}",
+            base + drift
+        );
+        assert!(min >= base, "min {min} below base {base}");
+    }
+
+    #[test]
+    fn drift_shared_by_colocated_nodes_and_steps_over_epochs() {
+        let world = World::new();
+        let mut u = Underlay::new(UnderlayConfig::default(), 11);
+        let nyc = world.city("New York").unwrap().location;
+        let lon = world.city("London").unwrap().location;
+        let host = u.add_as(AsProfile::datacenter("host", nyc));
+        let far_as = u.add_as(AsProfile::datacenter("far", lon));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let w = u.add_node_in(host, nyc, [1, 0, 0, 1], &mut rng);
+        let z = u.add_node_in(host, nyc, [1, 0, 0, 2], &mut rng);
+        let x = u.add_node_in(far_as, lon, [1, 1, 0, 1], &mut rng);
+        let t0 = SimTime::ZERO;
+        // Same AS pair → identical drift (w and z are co-located).
+        assert_eq!(u.drift_ms(w, x, t0), u.drift_ms(z, x, t0));
+        // Same AS → no drift.
+        assert_eq!(u.drift_ms(w, z, t0), 0.0);
+        // Across many epochs the drift takes multiple values.
+        let vals: std::collections::HashSet<u64> = (0..20)
+            .map(|e| {
+                let t = SimTime::ZERO + crate::time::SimDuration::from_hours(e * 3);
+                (u.drift_ms(w, x, t) * 1e6) as u64
+            })
+            .collect();
+        assert!(vals.len() > 5, "drift not stepping: {vals:?}");
+    }
+
+    #[test]
+    fn policy_extra_applies_per_class() {
+        let (mut u, a, b) = two_as_underlay();
+        let plain = u.base_rtt_ms(a, b, TrafficClass::Icmp);
+        u.as_profile_mut(AsId(0)).policy = ProtocolPolicy::icmp_deprioritized(20.0);
+        let slowed = u.base_rtt_ms(a, b, TrafficClass::Icmp);
+        let tcp = u.base_rtt_ms(a, b, TrafficClass::Tcp);
+        // One endpoint AS adds 20 ms / 2 = 10 ms per direction = 20 ms RTT.
+        assert!((slowed - plain - 20.0).abs() < 1e-9);
+        assert!((tcp - plain).abs() < 1e-9, "TCP unaffected");
+    }
+
+    #[test]
+    fn tor_shaping_separates_tor_from_tcp() {
+        let (mut u, a, b) = two_as_underlay();
+        u.as_profile_mut(AsId(1)).policy = ProtocolPolicy::tor_shaped(8.0);
+        let tor = u.base_rtt_ms(a, b, TrafficClass::Tor);
+        let tcp = u.base_rtt_ms(a, b, TrafficClass::Tcp);
+        assert!((tor - tcp - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_load_changes_jitter_mean() {
+        let world = World::new();
+        let mut profile = AsProfile::residential("isp", world.city("Berlin").unwrap().location);
+        profile.diurnal_amplitude = 0.5;
+        let peak_t = SimTime::ZERO + crate::time::SimDuration::from_hours(6); // sin peaks at 6h
+        let trough_t = SimTime::ZERO + crate::time::SimDuration::from_hours(18);
+        assert!(profile.load_factor(peak_t) > 1.4);
+        assert!(profile.load_factor(trough_t) < 0.6);
+    }
+
+    #[test]
+    fn tivs_exist_among_many_ases() {
+        // With enough ASes, some pair (a, b) has a relay c with
+        // base(a,c) + base(c,b) < base(a,b): the routing TIVs of §5.2.1.
+        let world = World::new();
+        let mut u = Underlay::new(UnderlayConfig::default(), 7);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut nodes = Vec::new();
+        for (i, city) in world.cities().iter().take(20).enumerate() {
+            let asid = u.add_as(AsProfile::datacenter(city.name, city.location));
+            nodes.push(u.add_node_in(asid, city.location, [10, i as u8, 0, 1], &mut rng));
+        }
+        let mut tiv_found = false;
+        'outer: for &a in &nodes {
+            for &b in &nodes {
+                if a == b {
+                    continue;
+                }
+                let direct = u.base_rtt_ms(a, b, TrafficClass::Tor);
+                for &c in &nodes {
+                    if c == a || c == b {
+                        continue;
+                    }
+                    let detour = u.base_rtt_ms(a, c, TrafficClass::Tor)
+                        + u.base_rtt_ms(c, b, TrafficClass::Tor);
+                    if detour < direct {
+                        tiv_found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(tiv_found, "expected at least one TIV in a 20-AS world");
+    }
+
+    #[test]
+    fn ping_uses_icmp_class() {
+        let (mut u, a, b) = two_as_underlay();
+        u.as_profile_mut(AsId(0)).policy = ProtocolPolicy::icmp_deprioritized(50.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let ping = u.ping_rtt_ms(a, b, SimTime::ZERO, &mut rng);
+        let tcp_floor = u.base_rtt_ms(a, b, TrafficClass::Tcp);
+        assert!(ping > tcp_floor + 45.0, "ping {ping} vs tcp {tcp_floor}");
+    }
+
+    #[test]
+    fn loss_model_delays_but_never_drops() {
+        let world = World::new();
+        let mut cfg = UnderlayConfig::default();
+        cfg.loss_prob = 0.10;
+        cfg.retransmit_penalty_ms = 150.0;
+        let mut u = Underlay::new(cfg, 21);
+        let nyc = world.city("New York").unwrap().location;
+        let lon = world.city("London").unwrap().location;
+        let a = u.add_as(AsProfile::datacenter("a", nyc));
+        let b = u.add_as(AsProfile::datacenter("b", lon));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n0 = u.add_node_in(a, nyc, [9, 0, 0, 1], &mut rng);
+        let n1 = u.add_node_in(b, lon, [9, 1, 0, 1], &mut rng);
+        let base = u.base_owd_ms(n0, n1, TrafficClass::Tcp);
+        let mut slow = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let s = u.sample_owd_ms(n0, n1, TrafficClass::Tcp, SimTime::ZERO, &mut rng);
+            assert!(s.is_finite() && s >= base);
+            if s >= base + 150.0 {
+                slow += 1;
+            }
+        }
+        let frac = slow as f64 / n as f64;
+        assert!((frac - 0.10).abs() < 0.03, "retransmit fraction {frac}");
+    }
+
+    #[test]
+    fn default_config_has_no_loss() {
+        let (mut u, a, b) = two_as_underlay();
+        let base = u.base_owd_ms(a, b, TrafficClass::Tcp);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let s = u.sample_owd_ms(a, b, TrafficClass::Tcp, SimTime::ZERO, &mut rng);
+            assert!(s < base + 150.0, "unexpected retransmission delay {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn node_in_unknown_as_rejected() {
+        let mut u = Underlay::new(UnderlayConfig::default(), 0);
+        u.add_node(NodeAttrs {
+            as_id: AsId(3),
+            location: GeoPoint::new(0.0, 0.0),
+            access_delay_ms: 1.0,
+            ip: [1, 2, 3, 4],
+        });
+    }
+}

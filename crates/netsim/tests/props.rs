@@ -1,0 +1,94 @@
+//! Property tests: underlay invariants that every experiment relies on.
+
+use geo::World;
+use netsim::{AsProfile, SimTime, TrafficClass, Underlay, UnderlayConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Builds an underlay of `n_as` ASes (one node each) with seed `seed`.
+fn build(n_as: usize, seed: u64) -> Underlay {
+    let world = World::new();
+    let mut u = Underlay::new(UnderlayConfig::default(), seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xdead);
+    for (i, city) in world.cities().iter().cycle().take(n_as).enumerate() {
+        let a = u.add_as(AsProfile::datacenter(city.name, city.location));
+        u.add_node_in(a, city.location, [10, (i >> 8) as u8, i as u8, 1], &mut rng);
+    }
+    u
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn base_latency_symmetric(seed in 0u64..1000, n in 2usize..12) {
+        let mut u = build(n, seed);
+        for a in 0..n {
+            for b in 0..n {
+                let ab = u.base_owd_ms(a, b, TrafficClass::Tcp);
+                let ba = u.base_owd_ms(b, a, TrafficClass::Tcp);
+                prop_assert!((ab - ba).abs() < 1e-9, "asymmetric {ab} vs {ba}");
+            }
+        }
+    }
+
+    #[test]
+    fn base_latency_deterministic(seed in 0u64..1000) {
+        let mut u1 = build(6, seed);
+        let mut u2 = build(6, seed);
+        for a in 0..6 {
+            for b in 0..6 {
+                prop_assert_eq!(
+                    u1.base_owd_ms(a, b, TrafficClass::Tor),
+                    u2.base_owd_ms(a, b, TrafficClass::Tor)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_latency_respects_lightspeed(seed in 0u64..1000, n in 2usize..10) {
+        let mut u = build(n, seed);
+        for a in 0..n {
+            for b in 0..n {
+                if a == b { continue; }
+                let owd = u.base_owd_ms(a, b, TrafficClass::Tcp);
+                let na = u.node(a).location;
+                let nb = u.node(b).location;
+                let floor = geo::min_rtt_ms(geo::great_circle_km(na, nb)) / 2.0;
+                prop_assert!(owd + 1e-9 >= floor, "owd {owd} beats light {floor}");
+            }
+        }
+    }
+
+    #[test]
+    fn samples_dominate_base(seed in 0u64..500) {
+        let mut u = build(4, seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for a in 0..4 {
+            for b in 0..4 {
+                let base = u.base_owd_ms(a, b, TrafficClass::Tor);
+                for k in 0..20 {
+                    let t = SimTime(k * 1_000_000_000);
+                    let s = u.sample_owd_ms(a, b, TrafficClass::Tor, t, &mut rng);
+                    prop_assert!(s >= base - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inflation_within_configured_bounds(seed in 0u64..1000, n in 2usize..10) {
+        let mut u = build(n, seed);
+        let cfg = UnderlayConfig::default();
+        for a in 0..n as u16 {
+            for b in 0..n as u16 {
+                if a == b { continue; }
+                let f = u.inflation(netsim::AsId(a), netsim::AsId(b));
+                prop_assert!(f >= cfg.inter_as_inflation_min - 1e-9);
+                prop_assert!(f <= cfg.inter_as_inflation_max.max(cfg.bad_route_inflation) + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The ChaCha20 stream cipher (RFC 8439).
+//!
+//! Each circuit hop holds two independent ChaCha20 streams (forward and
+//! backward). [`ChaCha20`] keeps a running keystream position so that
+//! successive relay cells continue the stream exactly where the previous
+//! cell left off — the property that makes onion layers peel correctly
+//! only when every cell passes through in order.
+
+/// "expand 32-byte k" — the ChaCha constant words.
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+/// Incremental ChaCha20 keystream generator / stream cipher.
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+    counter: u32,
+    /// Remainder of the current keystream block.
+    block: [u8; 64],
+    /// Offset into `block` of the next unused keystream byte (64 = empty).
+    offset: usize,
+}
+
+impl ChaCha20 {
+    /// Creates a cipher with the given 256-bit key and 96-bit nonce,
+    /// starting at block counter `counter` (RFC 8439 uses 1 for
+    /// encryption; 0 is conventional for pure keystream uses).
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> ChaCha20 {
+        let mut k = [0u32; 8];
+        for i in 0..8 {
+            k[i] = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        let mut n = [0u32; 3];
+        for i in 0..3 {
+            n[i] = u32::from_le_bytes([
+                nonce[4 * i],
+                nonce[4 * i + 1],
+                nonce[4 * i + 2],
+                nonce[4 * i + 3],
+            ]);
+        }
+        ChaCha20 {
+            key: k,
+            nonce: n,
+            counter,
+            block: [0u8; 64],
+            offset: 64,
+        }
+    }
+
+    /// XORs the keystream into `data` in place (encrypt == decrypt).
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        for byte in data {
+            if self.offset == 64 {
+                self.refill();
+            }
+            *byte ^= self.block[self.offset];
+            self.offset += 1;
+        }
+    }
+
+    /// Produces `len` raw keystream bytes (used for key derivation in
+    /// tests and for padding generation).
+    pub fn keystream(&mut self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.apply_keystream(&mut out);
+        out
+    }
+
+    fn refill(&mut self) {
+        let block = chacha20_block(&self.key, self.counter, &self.nonce);
+        self.block = block;
+        self.counter = self.counter.wrapping_add(1);
+        self.offset = 0;
+    }
+}
+
+/// The ChaCha quarter round.
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] ^= state[a];
+    state[d] = state[d].rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] ^= state[c];
+    state[b] = state[b].rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] ^= state[a];
+    state[d] = state[d].rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] ^= state[c];
+    state[b] = state[b].rotate_left(7);
+}
+
+/// The ChaCha20 block function: 20 rounds over the 16-word state, plus
+/// the feed-forward addition, serialized little-endian.
+pub fn chacha20_block(key: &[u32; 8], counter: u32, nonce: &[u32; 3]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter;
+    state[13..16].copy_from_slice(nonce);
+    let initial = state;
+
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    #[test]
+    fn rfc8439_quarter_round_vector() {
+        // RFC 8439 §2.1.1.
+        let mut s = [0u32; 16];
+        s[0] = 0x11111111;
+        s[1] = 0x01020304;
+        s[2] = 0x9b8d6f43;
+        s[3] = 0x01234567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a92f4);
+        assert_eq!(s[1], 0xcb1cf8ce);
+        assert_eq!(s[2], 0x4581472e);
+        assert_eq!(s[3], 0x5881c4bb);
+    }
+
+    fn rfc_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_function_vector() {
+        // RFC 8439 §2.3.2: key 00..1f, nonce 000000090000004a00000000,
+        // counter 1.
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut c = ChaCha20::new(&rfc_key(), &nonce, 1);
+        let ks = c.keystream(64);
+        assert_eq!(
+            hex(&ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2: the "sunscreen" plaintext, counter starts at 1.
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut buf = plaintext.to_vec();
+        let mut c = ChaCha20::new(&rfc_key(), &nonce, 1);
+        c.apply_keystream(&mut buf);
+        assert_eq!(
+            hex(&buf[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        // Decrypting restores the plaintext.
+        let mut d = ChaCha20::new(&rfc_key(), &nonce, 1);
+        d.apply_keystream(&mut buf);
+        assert_eq!(&buf[..], &plaintext[..]);
+    }
+
+    #[test]
+    fn keystream_continues_across_calls() {
+        let key = rfc_key();
+        let nonce = [7u8; 12];
+        let mut whole = ChaCha20::new(&key, &nonce, 0);
+        let expect = whole.keystream(200);
+
+        let mut split = ChaCha20::new(&key, &nonce, 0);
+        let mut got = split.keystream(13);
+        got.extend(split.keystream(51));
+        got.extend(split.keystream(136));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let key = [0x42u8; 32];
+        let nonce = [0x24u8; 12];
+        let msg = b"attack at dawn over the tor circuit".to_vec();
+        let mut buf = msg.clone();
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+        assert_ne!(buf, msg);
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+        assert_eq!(buf, msg);
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_streams() {
+        let key = [1u8; 32];
+        let a = ChaCha20::new(&key, &[0u8; 12], 0).keystream(32);
+        let b = ChaCha20::new(&key, &[1u8; 12], 0).keystream(32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counter_wraps_without_panic() {
+        let mut c = ChaCha20::new(&[0u8; 32], &[0u8; 12], u32::MAX);
+        let _ = c.keystream(130); // crosses the wrap point
+    }
+}

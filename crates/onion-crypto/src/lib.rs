@@ -1,0 +1,42 @@
+//! From-scratch cryptographic primitives for the simulated Tor overlay.
+//!
+//! The offline crate set contains no cryptography, so this crate
+//! implements everything the Tor substrate needs:
+//!
+//! * [`mod@sha256`] — streaming SHA-256 (FIPS 180-4),
+//! * [`mod@hmac`] — HMAC-SHA256 (RFC 2104 / 4231),
+//! * [`mod@hkdf`] — HKDF extract-and-expand (RFC 5869),
+//! * [`chacha20`] — the ChaCha20 stream cipher (RFC 8439),
+//! * [`mod@x25519`] — X25519 Diffie–Hellman over Curve25519 (RFC 7748),
+//! * [`ntor`] — an ntor-style circuit-extension handshake combining the
+//!   above, producing the per-hop key material used by `tor-protocol`'s
+//!   layered relay crypto.
+//!
+//! Why real crypto in a simulator? Two reasons. First, Ting's forwarding-
+//! delay story (§3.2, §4.3 of the paper) hinges on the fact that a relay's
+//! per-cell work is dominated by symmetric cryptography — cells here are
+//! genuinely onion-encrypted and decrypted so that cost and correctness
+//! are real, and the Criterion benches measure the real thing. Second,
+//! circuit construction (CREATE2/EXTEND2) only behaves like Tor if key
+//! derivation actually happens per hop.
+//!
+//! These implementations favour clarity over speed and are **not**
+//! hardened against side channels; they exist to support a measurement
+//! reproduction, not production key handling.
+
+pub mod chacha20;
+pub mod hkdf;
+pub mod hmac;
+pub mod ntor;
+pub mod sha256;
+pub mod x25519;
+
+pub use chacha20::ChaCha20;
+pub use hkdf::{hkdf, hkdf_expand, hkdf_extract};
+pub use hmac::hmac_sha256;
+pub use ntor::{
+    client_handshake_finish, client_handshake_start, server_handshake, ClientHandshakeState,
+    HopKeys, ServerReply,
+};
+pub use sha256::{sha256, Sha256};
+pub use x25519::{x25519, x25519_base, KeyPair, PublicKey, SecretKey};

@@ -1,0 +1,406 @@
+//! X25519 Diffie–Hellman over Curve25519 (RFC 7748).
+//!
+//! The ntor-style circuit handshake needs an actual DH exchange so that
+//! every CREATE2/EXTEND2 derives fresh per-hop keys. This is a compact,
+//! constant-structure (swap-based ladder) implementation using radix-2⁵¹
+//! field arithmetic; it is validated against the RFC 7748 test vectors
+//! and the Alice/Bob DH example from §6.1.
+
+/// A field element in GF(2²⁵⁵ − 19), five 51-bit limbs, little-endian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fe([u64; 5]);
+
+const MASK51: u64 = (1 << 51) - 1;
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Decodes 32 little-endian bytes, ignoring the top bit per RFC 7748.
+    fn from_bytes(b: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut v = [0u8; 8];
+            v.copy_from_slice(&b[i..i + 8]);
+            u64::from_le_bytes(v)
+        };
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    /// Encodes to 32 bytes with full reduction mod p.
+    fn to_bytes(self) -> [u8; 32] {
+        let mut t = self.reduce_weak();
+        // Final conditional subtraction of p = 2^255 - 19: compute
+        // t + 19, and if that carries past 2^255 then t >= p.
+        let mut carry = (t.0[0] + 19) >> 51;
+        for i in 1..5 {
+            carry = (t.0[i] + carry) >> 51;
+        }
+        // carry is 1 iff t >= p; subtract p by adding 19 and masking.
+        let c19 = 19 * carry;
+        t.0[0] += c19;
+        for i in 0..4 {
+            let c = t.0[i] >> 51;
+            t.0[i] &= MASK51;
+            t.0[i + 1] += c;
+        }
+        t.0[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let limbs = t.0;
+        // Pack 5 × 51 bits into 255 bits.
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for limb in limbs {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 {
+                out[idx] = (acc & 0xff) as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        if idx < 32 {
+            out[idx] = acc as u8;
+        }
+        out
+    }
+
+    /// Carries limbs down to ≤ 51 bits each (value may still be ≥ p).
+    fn reduce_weak(self) -> Fe {
+        let mut l = self.0;
+        let mut c;
+        for _ in 0..2 {
+            c = l[0] >> 51;
+            l[0] &= MASK51;
+            l[1] += c;
+            c = l[1] >> 51;
+            l[1] &= MASK51;
+            l[2] += c;
+            c = l[2] >> 51;
+            l[2] &= MASK51;
+            l[3] += c;
+            c = l[3] >> 51;
+            l[3] &= MASK51;
+            l[4] += c;
+            c = l[4] >> 51;
+            l[4] &= MASK51;
+            l[0] += 19 * c;
+        }
+        Fe(l)
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + rhs.0[i];
+        }
+        Fe(l).reduce_weak()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // Add 2p (in limb form) before subtracting to keep limbs positive.
+        const TWO_P: [u64; 5] = [
+            0xfffffffffffda,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+        ];
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + TWO_P[i] - rhs.0[i];
+        }
+        Fe(l).reduce_weak()
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        let m = |x: u64, y: u64| x as u128 * y as u128;
+        // Schoolbook with the 2^255 ≡ 19 folding.
+        let mut t0 =
+            m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let mut t1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let mut t2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let mut t3 =
+            m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
+        let mut t4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        // Carry chain.
+        let mut c = (t0 >> 51) as u128;
+        t1 += c;
+        let r0 = (t0 as u64) & MASK51;
+        c = t1 >> 51;
+        t2 += c;
+        let r1 = (t1 as u64) & MASK51;
+        c = t2 >> 51;
+        t3 += c;
+        let r2 = (t2 as u64) & MASK51;
+        c = t3 >> 51;
+        t4 += c;
+        let r3 = (t3 as u64) & MASK51;
+        c = t4 >> 51;
+        let r4 = (t4 as u64) & MASK51;
+        t0 = r0 as u128 + 19 * c;
+        let c2 = (t0 >> 51) as u64;
+        let r0 = (t0 as u64) & MASK51;
+        let r1 = r1 + c2;
+
+        Fe([r0, r1, r2, r3, r4]).reduce_weak()
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiplies by the small constant 121665 (the curve's (A−2)/4).
+    fn mul_small(self, k: u64) -> Fe {
+        let mut t = [0u128; 5];
+        for i in 0..5 {
+            t[i] = self.0[i] as u128 * k as u128;
+        }
+        let mut l = [0u64; 5];
+        let mut c: u128 = 0;
+        for i in 0..5 {
+            let v = t[i] + c;
+            l[i] = (v as u64) & MASK51;
+            c = v >> 51;
+        }
+        l[0] += 19 * c as u64;
+        Fe(l).reduce_weak()
+    }
+
+    /// Inversion via Fermat: x^(p−2).
+    fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21; exponent bits: all ones except bits 1,2
+        // (binary ...11101011). Simple square-and-multiply MSB-first over
+        // the 255-bit exponent is clear and fast enough here.
+        let mut result = Fe::ONE;
+        let base = self;
+        // Bits of p-2 from most significant (bit 254) down to 0.
+        for i in (0..255).rev() {
+            result = result.square();
+            let bit = if i >= 5 {
+                1 // bits 5..=254 of 2^255 - 21 are all 1
+            } else {
+                // low five bits: 2^5 - 21 = 11 = 0b01011
+                (0b01011u64 >> i) & 1
+            };
+            if bit == 1 {
+                result = result.mul(base);
+            }
+        }
+        result
+    }
+
+    /// Constant-structure conditional swap.
+    fn cswap(a: &mut Fe, b: &mut Fe, swap: u64) {
+        let mask = 0u64.wrapping_sub(swap); // 0 or all-ones
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+/// A clamped X25519 secret key (32 bytes).
+pub type SecretKey = [u8; 32];
+/// An X25519 public key / curve point u-coordinate (32 bytes).
+pub type PublicKey = [u8; 32];
+
+/// An X25519 keypair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyPair {
+    pub secret: SecretKey,
+    pub public: PublicKey,
+}
+
+impl KeyPair {
+    /// Derives the keypair for `secret` (clamping is applied during
+    /// scalar multiplication, so any 32 bytes are a valid secret).
+    pub fn from_secret(secret: SecretKey) -> KeyPair {
+        KeyPair {
+            secret,
+            public: x25519_base(&secret),
+        }
+    }
+
+    /// Generates a keypair from any RNG-ish source of 32 bytes.
+    pub fn from_entropy(bytes: [u8; 32]) -> KeyPair {
+        KeyPair::from_secret(bytes)
+    }
+}
+
+/// RFC 7748 scalar clamping.
+fn clamp(scalar: &[u8; 32]) -> [u8; 32] {
+    let mut s = *scalar;
+    s[0] &= 248;
+    s[31] &= 127;
+    s[31] |= 64;
+    s
+}
+
+/// Scalar multiplication: `scalar · point` on Curve25519 (the X25519
+/// function of RFC 7748).
+pub fn x25519(scalar: &SecretKey, point: &PublicKey) -> [u8; 32] {
+    let k = clamp(scalar);
+    let x1 = Fe::from_bytes(point);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = ((k[t >> 3] >> (t & 7)) & 1) as u64;
+        swap ^= k_t;
+        Fe::cswap(&mut x2, &mut x3, swap);
+        Fe::cswap(&mut z2, &mut z3, swap);
+        swap = k_t;
+
+        // RFC 7748 ladder step.
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121665)));
+    }
+    Fe::cswap(&mut x2, &mut x3, swap);
+    Fe::cswap(&mut z2, &mut z3, swap);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// Scalar multiplication by the standard base point (u = 9).
+pub fn x25519_base(scalar: &SecretKey) -> PublicKey {
+    let mut base = [0u8; 32];
+    base[0] = 9;
+    x25519(scalar, &base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    fn unhex(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let point = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex(&x25519(&scalar, &point)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    #[test]
+    fn rfc7748_dh_alice_bob() {
+        let alice_sk = unhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_sk = unhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pk = x25519_base(&alice_sk);
+        let bob_pk = x25519_base(&bob_sk);
+        assert_eq!(
+            hex(&alice_pk),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex(&bob_pk),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let s1 = x25519(&alice_sk, &bob_pk);
+        let s2 = x25519(&bob_sk, &alice_pk);
+        assert_eq!(s1, s2);
+        assert_eq!(
+            hex(&s1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn dh_commutes_for_arbitrary_secrets() {
+        for seed in 0u8..8 {
+            let a = [seed.wrapping_mul(37).wrapping_add(1); 32];
+            let b = [seed.wrapping_mul(91).wrapping_add(5); 32];
+            let pa = x25519_base(&a);
+            let pb = x25519_base(&b);
+            assert_eq!(x25519(&a, &pb), x25519(&b, &pa), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn clamping_fixes_bits() {
+        let c = clamp(&[0xffu8; 32]);
+        assert_eq!(c[0] & 7, 0);
+        assert_eq!(c[31] & 0x80, 0);
+        assert_eq!(c[31] & 0x40, 0x40);
+    }
+
+    #[test]
+    fn field_roundtrip_encode_decode() {
+        // Values below p roundtrip through byte encoding.
+        for fill in [0u8, 1, 0x7f, 0x55] {
+            let mut bytes = [fill; 32];
+            bytes[31] &= 0x7f; // keep below 2^255
+            let fe = Fe::from_bytes(&bytes);
+            // Canonical values < p re-encode to themselves; 0x7f-fill is
+            // below p (p ends in 0xed at byte 0... actually p is
+            // 2^255-19 so only values >= p change). All fills here < p.
+            assert_eq!(fe.to_bytes(), bytes, "fill {fill:#x}");
+        }
+    }
+
+    #[test]
+    fn non_canonical_encoding_reduces() {
+        // p itself must encode to zero.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let fe = Fe::from_bytes(&p_bytes);
+        assert_eq!(fe.to_bytes(), [0u8; 32]);
+    }
+
+    #[test]
+    fn invert_is_inverse() {
+        let mut bytes = [3u8; 32];
+        bytes[31] = 0x12;
+        let x = Fe::from_bytes(&bytes);
+        let one = x.mul(x.invert());
+        assert_eq!(one.to_bytes(), Fe::ONE.to_bytes());
+    }
+
+    #[test]
+    fn keypair_is_deterministic() {
+        let kp1 = KeyPair::from_secret([7u8; 32]);
+        let kp2 = KeyPair::from_secret([7u8; 32]);
+        assert_eq!(kp1, kp2);
+        assert_ne!(kp1.public, KeyPair::from_secret([8u8; 32]).public);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the crypto primitives.
+
+use onion_crypto::{
+    chacha20::ChaCha20, client_handshake_finish, client_handshake_start, hkdf, hmac_sha256,
+    server_handshake, sha256, KeyPair, Sha256,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha256_distinct_on_bitflip(data in prop::collection::vec(any::<u8>(), 1..128), idx in 0usize..128, bit in 0u8..8) {
+        let idx = idx % data.len();
+        let mut flipped = data.clone();
+        flipped[idx] ^= 1 << bit;
+        prop_assert_ne!(sha256(&data), sha256(&flipped));
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_key_sensitive(
+        key in prop::collection::vec(any::<u8>(), 0..100),
+        msg in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let a = hmac_sha256(&key, &msg);
+        let b = hmac_sha256(&key, &msg);
+        prop_assert_eq!(a, b);
+        let mut key2 = key.clone();
+        key2.push(0x01);
+        prop_assert_ne!(a, hmac_sha256(&key2, &msg));
+    }
+
+    #[test]
+    fn hkdf_output_lengths(
+        salt in prop::collection::vec(any::<u8>(), 0..32),
+        ikm in prop::collection::vec(any::<u8>(), 1..64),
+        len in 0usize..512,
+    ) {
+        let okm = hkdf(&salt, &ikm, b"test", len);
+        prop_assert_eq!(okm.len(), len);
+    }
+
+    #[test]
+    fn chacha_roundtrip(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        counter in any::<u32>(),
+        msg in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut buf = msg.clone();
+        ChaCha20::new(&key, &nonce, counter).apply_keystream(&mut buf);
+        ChaCha20::new(&key, &nonce, counter).apply_keystream(&mut buf);
+        prop_assert_eq!(buf, msg);
+    }
+
+    #[test]
+    fn chacha_chunking_invariance(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        chunks in prop::collection::vec(1usize..64, 1..8),
+    ) {
+        let total: usize = chunks.iter().sum();
+        let mut whole = ChaCha20::new(&key, &nonce, 0);
+        let expect = whole.keystream(total);
+        let mut split = ChaCha20::new(&key, &nonce, 0);
+        let mut got = Vec::new();
+        for c in chunks {
+            got.extend(split.keystream(c));
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ntor_handshake_always_agrees(
+        id_seed in any::<[u8; 32]>(),
+        client_seed in any::<[u8; 32]>(),
+        server_seed in any::<[u8; 32]>(),
+    ) {
+        let identity = KeyPair::from_secret(id_seed);
+        let (state, x_pub) = client_handshake_start(KeyPair::from_secret(client_seed), identity.public);
+        let (reply, server_keys) = server_handshake(&identity, KeyPair::from_secret(server_seed), &x_pub);
+        let client_keys = client_handshake_finish(&state, &reply);
+        prop_assert_eq!(client_keys, Some(server_keys));
+    }
+
+    #[test]
+    fn x25519_dh_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let ka = KeyPair::from_secret(a);
+        let kb = KeyPair::from_secret(b);
+        prop_assert_eq!(
+            onion_crypto::x25519(&ka.secret, &kb.public),
+            onion_crypto::x25519(&kb.secret, &ka.public)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Two-sample Kolmogorov–Smirnov distance.
+//!
+//! Fig. 7's claim is that the 200-sample and 1000-sample accuracy CDFs
+//! are "almost identical"; the KS statistic (the maximum vertical gap
+//! between two empirical CDFs) is the standard way to quantify that.
+
+use crate::cdf::EmpiricalCdf;
+
+/// The two-sample KS statistic `sup_x |F(x) − G(x)|` in `[0, 1]`.
+///
+/// Returns `None` if either sample is empty.
+pub fn ks_distance(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let fa = EmpiricalCdf::new(a);
+    let fb = EmpiricalCdf::new(b);
+    let mut d: f64 = 0.0;
+    for &x in fa.sorted_samples().iter().chain(fb.sorted_samples()) {
+        d = d.max((fa.eval(x) - fb.eval(x)).abs());
+        // Step CDFs also differ just *below* each jump point.
+        let eps = x.abs().max(1.0) * 1e-12;
+        d = d.max((fa.eval(x - eps) - fb.eval(x - eps)).abs());
+    }
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_distance(&xs, &xs), Some(0.0));
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        assert_eq!(ks_distance(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn known_half_overlap() {
+        // F puts all mass at 0, G half at 0 and half at 1 → sup gap 0.5.
+        let a = [0.0, 0.0];
+        let b = [0.0, 1.0];
+        assert_eq!(ks_distance(&a, &b), Some(0.5));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [1.0, 5.0, 9.0, 2.0];
+        let b = [3.0, 4.0, 8.0];
+        assert_eq!(ks_distance(&a, &b), ks_distance(&b, &a));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(ks_distance(&[], &[1.0]), None);
+        assert_eq!(ks_distance(&[1.0], &[]), None);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let a = [1.0, 2.0, 2.5, 7.0];
+        let b = [0.5, 2.1, 6.0, 6.5, 9.0];
+        let d = ks_distance(&a, &b).unwrap();
+        assert!((0.0..=1.0).contains(&d));
+        assert!(d > 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the statistics toolkit.
+
+use proptest::prelude::*;
+use stats::{
+    corr::fractional_ranks, linear_fit, pearson, spearman, BoxplotSummary, EmpiricalCdf, Histogram,
+    MinConvergence, Summary,
+};
+
+fn finite_vec(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6..1.0e6f64, min_len..64)
+}
+
+proptest! {
+    #[test]
+    fn cdf_is_monotone_and_bounded(xs in finite_vec(1)) {
+        let c = EmpiricalCdf::new(&xs);
+        let pts = c.points();
+        prop_assert_eq!(pts.len(), xs.len());
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        prop_assert!(c.eval(f64::NEG_INFINITY) == 0.0);
+        prop_assert!((c.eval(f64::INFINITY) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantile_inverts_eval(xs in finite_vec(2), q in 0.0..1.0f64) {
+        let c = EmpiricalCdf::new(&xs);
+        let x = c.quantile(q);
+        // The interpolated (type-7) quantile lies between two order
+        // statistics, so the CDF at it can undershoot q by at most one
+        // sample's worth of mass.
+        prop_assert!(c.eval(x) + 1.0 / xs.len() as f64 + 1e-9 >= q);
+        prop_assert!(x >= c.min() && x <= c.max());
+    }
+
+    #[test]
+    fn summary_orders_quartiles(xs in finite_vec(1)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.min <= s.q1);
+        prop_assert!(s.q1 <= s.median);
+        prop_assert!(s.median <= s.q3);
+        prop_assert!(s.q3 <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+    }
+
+    #[test]
+    fn boxplot_whiskers_inside_data(xs in finite_vec(1)) {
+        let b = BoxplotSummary::of(&xs).unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(b.whisker_lo >= lo && b.whisker_hi <= hi);
+        // NB: when all data below q1 are outliers the whisker can land
+        // inside the box (matplotlib behaves the same), so we only check
+        // the whiskers bracket the median.
+        prop_assert!(b.whisker_lo <= b.median + 1e-9);
+        prop_assert!(b.whisker_hi >= b.median - 1e-9);
+        // Every outlier is strictly outside the whiskers.
+        for &o in &b.outliers {
+            prop_assert!(o < b.whisker_lo || o > b.whisker_hi);
+        }
+    }
+
+    #[test]
+    fn correlations_bounded(xs in finite_vec(3), ys in finite_vec(3)) {
+        let n = xs.len().min(ys.len());
+        if let Some(r) = pearson(&xs[..n], &ys[..n]) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+        if let Some(r) = spearman(&xs[..n], &ys[..n]) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(xs in prop::collection::vec(0.001..1.0e3f64, 3..32)) {
+        // Ranks are preserved by exp-like monotone maps, so spearman(x, f(x)) = 1.
+        let ys: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+        if let Some(r) = spearman(&xs, &ys) {
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_mass(xs in finite_vec(1)) {
+        let r = fractional_ranks(&xs);
+        let sum: f64 = r.iter().sum();
+        let expect = (xs.len() * (xs.len() + 1)) as f64 / 2.0;
+        prop_assert!((sum - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        slope in -100.0..100.0f64,
+        intercept in -100.0..100.0f64,
+        xs in prop::collection::vec(-1000.0..1000.0f64, 2..32),
+    ) {
+        // Need at least two distinct x values.
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        let ys: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        prop_assert!((f.slope - slope).abs() < 1e-4 * (1.0 + slope.abs()));
+        prop_assert!((f.intercept - intercept).abs() < 1e-3 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn histogram_conserves_observations(xs in finite_vec(1)) {
+        let mut h = Histogram::new(-1.0e6, 1.0e6, 37);
+        for &x in &xs {
+            h.add(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    #[test]
+    fn convergence_indices_ordered(xs in prop::collection::vec(0.001..1.0e4f64, 1..128)) {
+        let c = MinConvergence::analyze(&xs).unwrap();
+        let exact = c.samples_to_min;
+        let w1 = c.samples_to_within_rel(0.01);
+        let w5 = c.samples_to_within_rel(0.05);
+        let w10 = c.samples_to_within_rel(0.10);
+        // Looser tolerance can never require more samples.
+        prop_assert!(w10 <= w5 && w5 <= w1 && w1 <= exact);
+        prop_assert!(exact <= xs.len());
+    }
+}

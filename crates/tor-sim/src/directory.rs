@@ -1,0 +1,348 @@
+//! Relay descriptors and the consensus.
+//!
+//! A trimmed-down version of what the Tor directory authorities publish:
+//! per-relay identity keys, flags, bandwidth weights, and exit policies.
+//! The paper's deanonymization evaluation (§5.1.1) distinguishes
+//! uniform-random relay selection ("traditional Tor") from
+//! bandwidth-weighted selection; both selectors live here.
+
+use netsim::NodeId;
+use onion_crypto::PublicKey;
+use rand::Rng;
+
+/// Relay status flags (the subset the experiments need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RelayFlags {
+    pub running: bool,
+    pub guard: bool,
+    pub exit: bool,
+}
+
+/// One relay's descriptor as published to the directory.
+#[derive(Debug, Clone)]
+pub struct RelayDescriptor {
+    /// The relay's node in the simulator.
+    pub node: NodeId,
+    /// ntor identity public key.
+    pub identity: PublicKey,
+    /// Self-measured bandwidth (arbitrary units; selection weight).
+    pub bandwidth: f64,
+    pub flags: RelayFlags,
+    pub nickname: String,
+    /// IPv4 address (drives /24 coverage analysis).
+    pub ip: [u8; 4],
+    /// Reverse-DNS name, if the relay's address has one (§5.3).
+    pub rdns: Option<String>,
+}
+
+impl RelayDescriptor {
+    /// The /24 prefix of this relay's address.
+    pub fn slash24(&self) -> [u8; 3] {
+        [self.ip[0], self.ip[1], self.ip[2]]
+    }
+
+    /// The /16 prefix (Tor's path-diversity constraint unit).
+    pub fn slash16(&self) -> [u8; 2] {
+        [self.ip[0], self.ip[1]]
+    }
+}
+
+/// The network consensus: every published descriptor.
+#[derive(Debug, Clone, Default)]
+pub struct Consensus {
+    relays: Vec<RelayDescriptor>,
+}
+
+impl Consensus {
+    pub fn new() -> Consensus {
+        Consensus::default()
+    }
+
+    pub fn publish(&mut self, descriptor: RelayDescriptor) {
+        self.relays.push(descriptor);
+    }
+
+    pub fn relays(&self) -> &[RelayDescriptor] {
+        &self.relays
+    }
+
+    pub fn len(&self) -> usize {
+        self.relays.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relays.is_empty()
+    }
+
+    /// Finds a descriptor by node id.
+    pub fn descriptor(&self, node: NodeId) -> Option<&RelayDescriptor> {
+        self.relays.iter().find(|r| r.node == node)
+    }
+
+    /// Uniform-random running relay ("traditional Tor" in §5.1.1).
+    pub fn pick_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&RelayDescriptor> {
+        let running: Vec<&RelayDescriptor> =
+            self.relays.iter().filter(|r| r.flags.running).collect();
+        if running.is_empty() {
+            return None;
+        }
+        Some(running[rng.gen_range(0..running.len())])
+    }
+
+    /// Bandwidth-weighted random running relay (how Tor actually picks).
+    pub fn pick_weighted<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&RelayDescriptor> {
+        let running: Vec<&RelayDescriptor> =
+            self.relays.iter().filter(|r| r.flags.running).collect();
+        if running.is_empty() {
+            return None;
+        }
+        let total: f64 = running.iter().map(|r| r.bandwidth).sum();
+        if total <= 0.0 {
+            return Some(running[rng.gen_range(0..running.len())]);
+        }
+        let mut target = rng.gen_range(0.0..total);
+        for r in &running {
+            target -= r.bandwidth;
+            if target <= 0.0 {
+                return Some(r);
+            }
+        }
+        running.last().copied()
+    }
+
+    /// Builds a default Tor circuit path the way a stock client does:
+    /// a bandwidth-weighted guard (Guard flag required), a weighted
+    /// middle, and a weighted exit (Exit flag required), all distinct
+    /// and from distinct /16s. Returns `None` when the consensus can't
+    /// satisfy the constraints.
+    pub fn default_path<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Vec<NodeId>> {
+        let running: Vec<&RelayDescriptor> =
+            self.relays.iter().filter(|r| r.flags.running).collect();
+        let pick_weighted_from = |pool: &[&RelayDescriptor], rng: &mut R| -> Option<NodeId> {
+            if pool.is_empty() {
+                return None;
+            }
+            let total: f64 = pool.iter().map(|r| r.bandwidth).sum();
+            if total <= 0.0 {
+                return Some(pool[rng.gen_range(0..pool.len())].node);
+            }
+            let mut t = rng.gen_range(0.0..total);
+            for r in pool {
+                t -= r.bandwidth;
+                if t <= 0.0 {
+                    return Some(r.node);
+                }
+            }
+            pool.last().map(|r| r.node)
+        };
+        for _ in 0..200 {
+            let exits: Vec<&RelayDescriptor> =
+                running.iter().copied().filter(|r| r.flags.exit).collect();
+            let exit = pick_weighted_from(&exits, rng)?;
+            let exit_desc = self.descriptor(exit)?;
+            let guards: Vec<&RelayDescriptor> = running
+                .iter()
+                .copied()
+                .filter(|r| r.flags.guard && r.node != exit && r.slash16() != exit_desc.slash16())
+                .collect();
+            let Some(guard) = pick_weighted_from(&guards, rng) else {
+                continue;
+            };
+            let guard_desc = self.descriptor(guard)?;
+            let middles: Vec<&RelayDescriptor> = running
+                .iter()
+                .copied()
+                .filter(|r| {
+                    r.node != exit
+                        && r.node != guard
+                        && r.slash16() != exit_desc.slash16()
+                        && r.slash16() != guard_desc.slash16()
+                })
+                .collect();
+            if let Some(middle) = pick_weighted_from(&middles, rng) {
+                return Some(vec![guard, middle, exit]);
+            }
+        }
+        None
+    }
+
+    /// Samples a `len`-hop path of distinct running relays, uniformly at
+    /// random, honouring the /16-diversity constraint when
+    /// `distinct_slash16` is set.
+    pub fn sample_path<R: Rng + ?Sized>(
+        &self,
+        len: usize,
+        distinct_slash16: bool,
+        rng: &mut R,
+    ) -> Option<Vec<NodeId>> {
+        let mut path: Vec<&RelayDescriptor> = Vec::with_capacity(len);
+        let mut attempts = 0;
+        while path.len() < len {
+            attempts += 1;
+            if attempts > len * 200 {
+                return None; // not enough diverse relays
+            }
+            let cand = self.pick_uniform(rng)?;
+            if path.iter().any(|p| p.node == cand.node) {
+                continue;
+            }
+            if distinct_slash16 && path.iter().any(|p| p.slash16() == cand.slash16()) {
+                continue;
+            }
+            path.push(cand);
+        }
+        Some(path.into_iter().map(|r| r.node).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn desc(i: u32, bw: f64, running: bool) -> RelayDescriptor {
+        RelayDescriptor {
+            node: NodeId(i),
+            identity: [i as u8; 32],
+            bandwidth: bw,
+            flags: RelayFlags {
+                running,
+                guard: true,
+                exit: false,
+            },
+            nickname: format!("relay{i}"),
+            ip: [10, (i >> 8) as u8, i as u8, 1],
+            rdns: None,
+        }
+    }
+
+    fn consensus(n: u32) -> Consensus {
+        let mut c = Consensus::new();
+        for i in 0..n {
+            c.publish(desc(i, (i + 1) as f64, true));
+        }
+        c
+    }
+
+    #[test]
+    fn uniform_pick_covers_all_relays() {
+        let c = consensus(10);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(c.pick_uniform(&mut rng).unwrap().node);
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn weighted_pick_prefers_high_bandwidth() {
+        let mut c = Consensus::new();
+        c.publish(desc(0, 1.0, true));
+        c.publish(desc(1, 99.0, true));
+        let mut rng = SmallRng::seed_from_u64(5);
+        let heavy = (0..2000)
+            .filter(|_| c.pick_weighted(&mut rng).unwrap().node == NodeId(1))
+            .count();
+        let frac = heavy as f64 / 2000.0;
+        assert!(frac > 0.95, "heavy fraction {frac}");
+    }
+
+    #[test]
+    fn non_running_relays_never_picked() {
+        let mut c = consensus(3);
+        c.publish(desc(99, 1000.0, false));
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..500 {
+            assert_ne!(c.pick_uniform(&mut rng).unwrap().node, NodeId(99));
+            assert_ne!(c.pick_weighted(&mut rng).unwrap().node, NodeId(99));
+        }
+    }
+
+    #[test]
+    fn sampled_paths_have_distinct_relays() {
+        let c = consensus(20);
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let path = c.sample_path(3, false, &mut rng).unwrap();
+            assert_eq!(path.len(), 3);
+            let set: std::collections::HashSet<_> = path.iter().collect();
+            assert_eq!(set.len(), 3);
+        }
+    }
+
+    #[test]
+    fn slash16_constraint_respected() {
+        // Two relays share 10.0.x.x; path of 2 with constraint must mix.
+        let mut c = Consensus::new();
+        for i in 0..2u32 {
+            let mut d = desc(i, 1.0, true);
+            d.ip = [10, 0, i as u8, 1];
+            c.publish(d);
+        }
+        let mut d = desc(2, 1.0, true);
+        d.ip = [10, 1, 0, 1];
+        c.publish(d);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let path = c.sample_path(2, true, &mut rng).unwrap();
+            let a = c.descriptor(path[0]).unwrap().slash16();
+            let b = c.descriptor(path[1]).unwrap().slash16();
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn default_path_respects_flags_and_diversity() {
+        let mut c = Consensus::new();
+        for i in 0..30u32 {
+            let mut d = desc(i, (i % 5 + 1) as f64, true);
+            d.flags.guard = i % 2 == 0;
+            d.flags.exit = i % 3 == 0;
+            d.ip = [10, (i % 10) as u8, i as u8, 1];
+            c.publish(d);
+        }
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let path = c.default_path(&mut rng).expect("path exists");
+            assert_eq!(path.len(), 3);
+            let descs: Vec<_> = path.iter().map(|&n| c.descriptor(n).unwrap()).collect();
+            assert!(descs[0].flags.guard, "entry lacks Guard flag");
+            assert!(descs[2].flags.exit, "exit lacks Exit flag");
+            // Distinct relays and distinct /16s.
+            let set: std::collections::HashSet<_> = path.iter().collect();
+            assert_eq!(set.len(), 3);
+            let s16: std::collections::HashSet<_> = descs.iter().map(|d| d.slash16()).collect();
+            assert_eq!(s16.len(), 3);
+        }
+    }
+
+    #[test]
+    fn default_path_none_without_exits() {
+        let mut c = Consensus::new();
+        for i in 0..5u32 {
+            let mut d = desc(i, 1.0, true);
+            d.flags.exit = false;
+            c.publish(d);
+        }
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert!(c.default_path(&mut rng).is_none());
+    }
+
+    #[test]
+    fn impossible_path_returns_none() {
+        let c = consensus(2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(c.sample_path(3, false, &mut rng).is_none());
+        assert!(Consensus::new().pick_uniform(&mut rng).is_none());
+    }
+
+    #[test]
+    fn prefix_helpers() {
+        let d = desc(0x0102, 1.0, true);
+        assert_eq!(d.ip, [10, 1, 2, 1]);
+        assert_eq!(d.slash24(), [10, 1, 2]);
+        assert_eq!(d.slash16(), [10, 1]);
+    }
+}

@@ -1,0 +1,41 @@
+//! A miniature Tor overlay running on the `netsim` substrate.
+//!
+//! This is the system Ting measures through: onion routers with real
+//! layered cryptography, a directory with bandwidth-weighted relay
+//! selection, an onion proxy that builds circuits under the same policy
+//! constraints as a stock Tor client (no one-hop circuits, no repeated
+//! relay), and a Stem-like [`control::Controller`] that lets measurement
+//! code construct *explicit* circuits and attach streams to them — the
+//! two capabilities §3.1 of the paper identifies as Ting's building
+//! blocks.
+//!
+//! Module map:
+//!
+//! * [`directory`] — relay descriptors, consensus, weighted selection;
+//! * [`relay`] — the onion-router state machine, including the
+//!   per-circuit queue + processing-cost model that produces the
+//!   forwarding delays Ting must cancel out (§3.3, §4.3);
+//! * [`client`] — the onion proxy state machine;
+//! * [`control`] — the controller handle measurement drivers use;
+//! * [`echo`] — the TCP echo server (`d` in the paper's setup);
+//! * [`network`] — builders that assemble underlay + relays + proxy into
+//!   a runnable [`network::TorNetwork`], including the PlanetLab-like
+//!   validation testbed and live-network scenarios of §4;
+//! * [`churn`] — the relay-population process behind Fig. 18;
+//! * [`traffic`] — finite background workloads for realism tests.
+
+pub mod churn;
+pub mod client;
+pub mod control;
+pub mod directory;
+pub mod echo;
+pub mod metrics;
+pub mod network;
+pub mod relay;
+pub mod traffic;
+
+pub use control::{CircuitHandle, CircuitStatus, Controller, StreamHandle, StreamStatus};
+pub use directory::{Consensus, RelayDescriptor, RelayFlags};
+pub use metrics::{MetricsSnapshot, RelayMetrics};
+pub use network::{TorNetwork, TorNetworkBuilder};
+pub use relay::RelayConfig;

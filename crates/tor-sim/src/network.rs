@@ -1,0 +1,564 @@
+//! Assembling runnable Tor networks.
+//!
+//! [`TorNetworkBuilder`] wires an underlay, a relay population, and the
+//! paper's four-process measurement host (echo client/proxy `s`, echo
+//! server `d`, local relays `w` and `z`, §3.3) into a [`TorNetwork`].
+//! Two scenarios mirror §4:
+//!
+//! * [`TorNetworkBuilder::testbed`] — the PlanetLab-like validation
+//!   network: 31 relays in distinct cities with wide geographic
+//!   coverage, one AS each, ~65% protocol-neutral networks and the rest
+//!   split between ICMP-deprioritizing and TCP-shaping policies (the
+//!   Fig. 5 anomaly mix).
+//! * [`TorNetworkBuilder::live`] — a live-Tor-like network: hundreds of
+//!   relays with the US/EU geographic skew, residential/datacenter AS
+//!   mix, Pareto bandwidth weights, rDNS names, and occasional
+//!   Tor-specific shaping.
+
+use crate::control::Controller;
+use crate::directory::{Consensus, RelayDescriptor, RelayFlags};
+use crate::echo::EchoServer;
+use crate::metrics::RelayMetrics;
+use crate::relay::{Relay, RelayConfig};
+use geo::{GeoPoint, HostnameGenerator, World};
+use netsim::{
+    AsId, AsProfile, NodeId, ProtocolPolicy, Simulator, TrafficClass, Underlay, UnderlayConfig,
+};
+use onion_crypto::KeyPair;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Draws from an exponential distribution with the given mean.
+fn sample_exp(rng: &mut SmallRng, mean: f64) -> f64 {
+    -rng.gen_range(1e-12..1.0f64).ln() * mean
+}
+
+/// Which §4 scenario to construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    Testbed,
+    Live,
+}
+
+/// Builder for [`TorNetwork`].
+#[derive(Debug, Clone)]
+pub struct TorNetworkBuilder {
+    seed: u64,
+    scenario: Scenario,
+    n_relays: usize,
+    /// Fraction of ASes that treat protocols identically (§4.3: ~65%).
+    neutral_frac: f64,
+    /// Of the discriminating remainder, fraction that deprioritizes
+    /// ICMP (vs shaping TCP/Tor).
+    icmp_anomaly_frac: f64,
+    underlay_config: UnderlayConfig,
+}
+
+impl TorNetworkBuilder {
+    /// The PlanetLab-like ground-truth testbed of §4.1 (default 31
+    /// relays).
+    pub fn testbed(seed: u64) -> TorNetworkBuilder {
+        TorNetworkBuilder {
+            seed,
+            scenario: Scenario::Testbed,
+            n_relays: 31,
+            neutral_frac: 0.65,
+            icmp_anomaly_frac: 0.6,
+            underlay_config: UnderlayConfig::default(),
+        }
+    }
+
+    /// A live-Tor-like network of `n_relays` relays (§4.5).
+    pub fn live(seed: u64, n_relays: usize) -> TorNetworkBuilder {
+        TorNetworkBuilder {
+            seed,
+            scenario: Scenario::Live,
+            n_relays,
+            neutral_frac: 0.70,
+            icmp_anomaly_frac: 0.6,
+            underlay_config: UnderlayConfig::default(),
+        }
+    }
+
+    /// Overrides the relay count.
+    pub fn relays(mut self, n: usize) -> TorNetworkBuilder {
+        self.n_relays = n;
+        self
+    }
+
+    /// Overrides the protocol-neutral AS fraction.
+    pub fn neutral_fraction(mut self, f: f64) -> TorNetworkBuilder {
+        self.neutral_frac = f;
+        self
+    }
+
+    /// Overrides underlay model constants.
+    pub fn underlay_config(mut self, cfg: UnderlayConfig) -> TorNetworkBuilder {
+        self.underlay_config = cfg;
+        self
+    }
+
+    /// Builds the network.
+    pub fn build(self) -> TorNetwork {
+        let world = World::new();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut underlay = Underlay::new(self.underlay_config, self.seed ^ 0x7ea5);
+
+        // ── Measurement host: one well-connected AS, four nodes. ──
+        let host_city = world.city("Washington DC").expect("city exists");
+        let mut host_profile = AsProfile::datacenter("measurement-host", host_city.location);
+        host_profile.access_delay_ms = (0.02, 0.05);
+        host_profile.jitter_mean_ms = 0.05;
+        let host_as = underlay.add_as(host_profile);
+        let host_node = |u: &mut Underlay, rng: &mut SmallRng, last: u8| {
+            let loc = host_city.location;
+            u.add_node_in(host_as, loc, [192, 0, 2, last], rng)
+        };
+        let proxy_idx = host_node(&mut underlay, &mut rng, 1);
+        let w_idx = host_node(&mut underlay, &mut rng, 2);
+        let z_idx = host_node(&mut underlay, &mut rng, 3);
+        let echo_idx = host_node(&mut underlay, &mut rng, 4);
+
+        // ── Relay population. ──
+        let mut relay_nodes: Vec<NodeId> = Vec::with_capacity(self.n_relays);
+        let mut relay_keys: Vec<KeyPair> = Vec::with_capacity(self.n_relays);
+        let mut relay_configs: Vec<RelayConfig> = Vec::with_capacity(self.n_relays);
+        let mut relay_ips: Vec<[u8; 4]> = Vec::with_capacity(self.n_relays);
+        let mut relay_residential: Vec<bool> = Vec::with_capacity(self.n_relays);
+
+        let placements: Vec<(String, GeoPoint, bool)> = match self.scenario {
+            Scenario::Testbed => {
+                // Distinct cities, uniform coverage, all institutional
+                // (datacenter-like) hosts — PlanetLab sites.
+                assert!(
+                    self.n_relays <= world.cities().len(),
+                    "testbed limited to one relay per city"
+                );
+                world
+                    .sample_distinct_cities(&mut rng, self.n_relays)
+                    .into_iter()
+                    .map(|c| (c.name.to_string(), c.location, false))
+                    .collect()
+            }
+            Scenario::Live => (0..self.n_relays)
+                .map(|_| {
+                    let (city, loc) = world.sample_location(&mut rng);
+                    // §5.3: ~61% of (named) relays are residential.
+                    let residential = rng.gen_bool(0.61);
+                    (city.name.to_string(), loc, residential)
+                })
+                .collect(),
+        };
+
+        // Group relays into ASes: testbed = one AS per site; live = up
+        // to a few relays share an (city, kind) AS.
+        let mut live_as_pool: HashMap<(String, bool), Vec<AsId>> = HashMap::new();
+        for (i, (city_name, loc, residential)) in placements.iter().enumerate() {
+            let as_id = match self.scenario {
+                Scenario::Testbed => {
+                    let profile =
+                        self.as_profile_for(format!("pl-{city_name}"), *loc, false, &mut rng);
+                    underlay.add_as(profile)
+                }
+                Scenario::Live => {
+                    let key = (city_name.clone(), *residential);
+                    let pool = live_as_pool.entry(key).or_default();
+                    // ~4 relays per AS on average before opening another.
+                    if pool.is_empty() || rng.gen_bool(0.25) {
+                        let profile = self.as_profile_for(
+                            format!(
+                                "{}-{}-{}",
+                                if *residential { "isp" } else { "dc" },
+                                city_name,
+                                pool.len()
+                            ),
+                            *loc,
+                            *residential,
+                            &mut rng,
+                        );
+                        let id = underlay.add_as(profile);
+                        pool.push(id);
+                        id
+                    } else {
+                        pool[rng.gen_range(0..pool.len())]
+                    }
+                }
+            };
+            let as_index = as_id.0 as usize;
+            let ip = [
+                10u8.wrapping_add((as_index >> 8) as u8),
+                (as_index & 0xff) as u8,
+                rng.gen(),
+                rng.gen_range(1..=254u8),
+            ];
+            let node_idx = underlay.add_node_in(as_id, *loc, ip, &mut rng);
+            // Node indices: 0..=3 are the host; relays follow.
+            assert_eq!(node_idx, 4 + i);
+            relay_nodes.push(NodeId(node_idx as u32));
+            relay_ips.push(ip);
+            relay_residential.push(*residential);
+
+            let mut secret = [0u8; 32];
+            rng.fill(&mut secret);
+            relay_keys.push(KeyPair::from_secret(secret));
+            relay_configs.push(RelayConfig {
+                // §4.3: minimum forwarding delays land in 0–3 ms and are
+                // dominated by symmetric crypto; the floor per relay is
+                // sub-millisecond on anything modern.
+                base_proc_ms: rng.gen_range(0.08..0.8),
+                busy_prob: rng.gen_range(0.15..0.5),
+                busy_mean_ms: rng.gen_range(1.0..6.0),
+            });
+        }
+
+        // Local relays w and z: same config class as a quiet relay.
+        let mut wsec = [0u8; 32];
+        rng.fill(&mut wsec);
+        let w_key = KeyPair::from_secret(wsec);
+        let mut zsec = [0u8; 32];
+        rng.fill(&mut zsec);
+        let z_key = KeyPair::from_secret(zsec);
+        let local_config = RelayConfig {
+            base_proc_ms: 0.15,
+            busy_prob: 0.05,
+            busy_mean_ms: 1.0,
+        };
+
+        // ── Identity map & consensus. ──
+        let mut identity_map: HashMap<NodeId, onion_crypto::PublicKey> = HashMap::new();
+        identity_map.insert(NodeId(w_idx as u32), w_key.public);
+        identity_map.insert(NodeId(z_idx as u32), z_key.public);
+        for (node, key) in relay_nodes.iter().zip(&relay_keys) {
+            identity_map.insert(*node, key.public);
+        }
+
+        let hostname_gen = HostnameGenerator::default();
+        let mut consensus = Consensus::new();
+        for (i, node) in relay_nodes.iter().enumerate() {
+            // Pareto-ish bandwidth weights (heavy-tailed, like Tor's).
+            let u: f64 = rng.gen_range(1e-6..1.0);
+            let bandwidth = 100.0 * u.powf(-1.0 / 1.3);
+            let rdns = if relay_residential[i] {
+                // Residential relays keep ISP-style names.
+                Some(
+                    hostname_gen
+                        .generate(relay_ips[i], &mut rng)
+                        .unwrap_or_else(|| format!("host{i}.example.net")),
+                )
+            } else {
+                hostname_gen.generate(relay_ips[i], &mut rng)
+            };
+            consensus.publish(RelayDescriptor {
+                node: *node,
+                identity: relay_keys[i].public,
+                bandwidth,
+                flags: RelayFlags {
+                    running: true,
+                    guard: true,
+                    exit: rng.gen_bool(0.3),
+                },
+                nickname: format!("relay{i}"),
+                ip: relay_ips[i],
+                rdns,
+            });
+        }
+
+        // ── Simulator + processes (same order as underlay nodes). ──
+        let mut sim = Simulator::new(underlay, self.seed ^ 0xc0de);
+        let (controller, proxy_process) =
+            Controller::create(NodeId(proxy_idx as u32), identity_map);
+        let proxy = sim.add_process(Box::new(proxy_process));
+        let w_metrics = RelayMetrics::new();
+        let z_metrics = RelayMetrics::new();
+        let local_w = sim.add_process(Box::new(
+            Relay::new(w_key, local_config).with_metrics(w_metrics.clone()),
+        ));
+        let local_z = sim.add_process(Box::new(
+            Relay::new(z_key, local_config).with_metrics(z_metrics.clone()),
+        ));
+        let echo_server = sim.add_process(Box::new(EchoServer::new()));
+        let mut relay_metrics = Vec::with_capacity(relay_keys.len());
+        for (key, config) in relay_keys.iter().zip(&relay_configs) {
+            let metrics = RelayMetrics::new();
+            relay_metrics.push(metrics.clone());
+            sim.add_process(Box::new(Relay::new(*key, *config).with_metrics(metrics)));
+        }
+        debug_assert_eq!(proxy.index(), proxy_idx);
+        debug_assert_eq!(local_w.index(), w_idx);
+        debug_assert_eq!(local_z.index(), z_idx);
+        debug_assert_eq!(echo_server.index(), echo_idx);
+
+        TorNetwork {
+            sim,
+            consensus,
+            controller,
+            relays: relay_nodes,
+            relay_metrics,
+            w_metrics,
+            z_metrics,
+            proxy,
+            local_w,
+            local_z,
+            echo_server,
+        }
+    }
+
+    /// Draws an AS profile with the configured policy mix.
+    fn as_profile_for(
+        &self,
+        name: String,
+        hub: GeoPoint,
+        residential: bool,
+        rng: &mut SmallRng,
+    ) -> AsProfile {
+        let mut profile = if residential {
+            AsProfile::residential(name, hub)
+        } else {
+            AsProfile::datacenter(name, hub)
+        };
+        profile.diurnal_phase_h = rng.gen_range(0.0..24.0);
+        if !rng.gen_bool(self.neutral_frac) {
+            // Anomaly magnitudes: a one-way skew of δ shifts a pair's
+            // ping RTT by ~δ but a §4.3 forwarding-delay estimate by
+            // 2δ — Fig. 5 shows F anomalies of tens of ms while Fig. 3
+            // stays 91%-within-10%, which bounds δ to roughly ≤ 15 ms
+            // with a heavier tail on a few networks.
+            let magnitude = (1.0 + sample_exp(rng, 3.0)).min(12.0);
+            profile.policy = if rng.gen_bool(self.icmp_anomaly_frac) {
+                ProtocolPolicy::icmp_deprioritized(magnitude)
+            } else {
+                ProtocolPolicy::tcp_shaped(magnitude * 0.7)
+            };
+        } else if self.scenario == Scenario::Live && rng.gen_bool(0.05) {
+            // A few networks shape specifically Tor (§4.5 speculates
+            // international Tor traffic is treated differently).
+            profile.policy = ProtocolPolicy::tor_shaped(rng.gen_range(2.0..12.0));
+        }
+        profile
+    }
+}
+
+/// A fully assembled simulated Tor deployment.
+pub struct TorNetwork {
+    pub sim: Simulator,
+    pub consensus: Consensus,
+    pub controller: Controller,
+    /// The measurable relay population (excludes `w`/`z`).
+    pub relays: Vec<NodeId>,
+    /// Per-relay observability handles, index-aligned with `relays`.
+    pub relay_metrics: Vec<RelayMetrics>,
+    /// Metrics for the local relays.
+    pub w_metrics: RelayMetrics,
+    pub z_metrics: RelayMetrics,
+    /// `s`: the onion proxy + echo client.
+    pub proxy: NodeId,
+    /// `w`: first local relay.
+    pub local_w: NodeId,
+    /// `z`: second local relay.
+    pub local_z: NodeId,
+    /// `d`: the echo server.
+    pub echo_server: NodeId,
+}
+
+impl TorNetwork {
+    /// Ground truth: the underlay's base Tor-class RTT between two relay
+    /// nodes (what Ting is trying to estimate).
+    pub fn true_rtt_ms(&mut self, a: NodeId, b: NodeId) -> f64 {
+        self.sim
+            .underlay_mut()
+            .base_rtt_ms(a.index(), b.index(), TrafficClass::Tor)
+    }
+
+    /// The paper's ground-truth procedure: the minimum of `samples`
+    /// ICMP pings between two nodes.
+    pub fn ping_min_rtt_ms(&mut self, a: NodeId, b: NodeId, samples: usize) -> f64 {
+        (0..samples)
+            .map(|_| self.sim.ping_rtt_ms(a, b))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{CircuitStatus, StreamStatus};
+
+    #[test]
+    fn testbed_builds_31_relays() {
+        let net = TorNetworkBuilder::testbed(7).build();
+        assert_eq!(net.relays.len(), 31);
+        assert_eq!(net.consensus.len(), 31);
+    }
+
+    #[test]
+    fn live_network_builds_with_requested_size() {
+        let net = TorNetworkBuilder::live(7, 80).build();
+        assert_eq!(net.relays.len(), 80);
+        // Live relays share ASes: far fewer ASes than relays + host.
+        assert!(net.sim.underlay().as_count() < 81);
+    }
+
+    #[test]
+    fn explicit_four_hop_circuit_builds_and_echoes() {
+        let mut net = TorNetworkBuilder::testbed(42).build();
+        let (x, y) = (net.relays[3], net.relays[17]);
+        let path = vec![net.local_w, x, y, net.local_z];
+        let circuit = net.controller.build_circuit(&mut net.sim, path);
+        net.sim.run_until_idle();
+        assert_eq!(net.controller.circuit_status(circuit), CircuitStatus::Ready);
+
+        let echo = net.echo_server;
+        let stream = net.controller.open_stream(&mut net.sim, circuit, echo);
+        net.sim.run_until_idle();
+        assert_eq!(net.controller.stream_status(stream), StreamStatus::Open);
+
+        let rtt = net
+            .controller
+            .echo_roundtrip_ms(&mut net.sim, stream, b"ting".to_vec())
+            .expect("echo returns");
+        // Sanity: RTT must exceed the sum of the two relay hops' ground
+        // truth and stay well below a second.
+        let floor = net.true_rtt_ms(x, y);
+        assert!(rtt > floor, "rtt {rtt} vs floor {floor}");
+        assert!(rtt < 1500.0, "rtt {rtt}");
+        net.controller.close_circuit(&mut net.sim, circuit);
+        net.sim.run_until_idle();
+    }
+
+    #[test]
+    fn two_hop_circuit_works() {
+        // C_x = (w, x): the isolation circuit of Fig. 2(b).
+        let mut net = TorNetworkBuilder::testbed(43).build();
+        let x = net.relays[5];
+        let circuit = net
+            .controller
+            .build_and_wait(&mut net.sim, vec![net.local_w, x])
+            .expect("2-hop circuit");
+        let stream = net
+            .controller
+            .open_stream_and_wait(&mut net.sim, circuit, net.echo_server)
+            .expect("stream");
+        let rtt = net
+            .controller
+            .echo_roundtrip_ms(&mut net.sim, stream, vec![0u8; 8])
+            .expect("echo");
+        assert!(rtt > 0.0 && rtt < 1000.0, "rtt {rtt}");
+    }
+
+    #[test]
+    fn one_hop_circuit_rejected() {
+        let mut net = TorNetworkBuilder::testbed(44).build();
+        let x = net.relays[0];
+        let c = net.controller.build_circuit(&mut net.sim, vec![x]);
+        net.sim.run_until_idle();
+        assert_eq!(net.controller.circuit_status(c), CircuitStatus::Failed);
+    }
+
+    #[test]
+    fn repeated_relay_rejected() {
+        let mut net = TorNetworkBuilder::testbed(45).build();
+        let x = net.relays[0];
+        let c = net
+            .controller
+            .build_circuit(&mut net.sim, vec![net.local_w, x, net.local_w]);
+        net.sim.run_until_idle();
+        assert_eq!(net.controller.circuit_status(c), CircuitStatus::Failed);
+    }
+
+    #[test]
+    fn metrics_track_circuit_lifecycle() {
+        let mut net = TorNetworkBuilder::testbed(47).build();
+        let (x, y) = (net.relays[2], net.relays[9]);
+        let x_metrics = net.relay_metrics[2].clone();
+        let before = x_metrics.snapshot();
+        assert_eq!(before.circuits_created, 0);
+
+        let c = net
+            .controller
+            .build_and_wait(&mut net.sim, vec![net.local_w, x, y, net.local_z])
+            .unwrap();
+        let mid = x_metrics.snapshot();
+        assert_eq!(mid.circuits_created, 1);
+        assert_eq!(mid.open_circuits(), 1);
+        // x saw its own EXTEND2 (recognized) and forwarded the later
+        // handshake cells toward y/z.
+        assert!(mid.cells_recognized >= 1);
+        assert!(mid.cells_forwarded >= 1);
+
+        let s = net
+            .controller
+            .open_stream_and_wait(&mut net.sim, c, net.echo_server)
+            .unwrap();
+        for _ in 0..5 {
+            net.controller
+                .echo_roundtrip_ms(&mut net.sim, s, vec![1])
+                .unwrap();
+        }
+        let after_echo = x_metrics.snapshot();
+        assert!(after_echo.cells_forwarded >= mid.cells_forwarded + 5);
+        assert!(after_echo.busy_ms_accumulated > 0.0);
+        assert_eq!(after_echo.queue_depth, 0, "queue drained at idle");
+
+        net.controller.close_circuit(&mut net.sim, c);
+        net.sim.run_until_idle();
+        let end = x_metrics.snapshot();
+        assert_eq!(end.circuits_destroyed, 1);
+        assert_eq!(end.open_circuits(), 0);
+        // The exit z opened exactly one stream.
+        let z = net.z_metrics.snapshot();
+        assert_eq!(z.streams_opened, 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut net = TorNetworkBuilder::testbed(99).build();
+            let (x, y) = (net.relays[1], net.relays[2]);
+            let c = net
+                .controller
+                .build_and_wait(&mut net.sim, vec![net.local_w, x, y, net.local_z])
+                .unwrap();
+            let s = net
+                .controller
+                .open_stream_and_wait(&mut net.sim, c, net.echo_server)
+                .unwrap();
+            net.controller
+                .echo_roundtrip_ms(&mut net.sim, s, vec![1])
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn echo_rtts_bounded_below_by_circuit_ground_truth() {
+        let mut net = TorNetworkBuilder::testbed(46).build();
+        let (x, y) = (net.relays[10], net.relays[20]);
+        let c = net
+            .controller
+            .build_and_wait(&mut net.sim, vec![net.local_w, x, y, net.local_z])
+            .unwrap();
+        let s = net
+            .controller
+            .open_stream_and_wait(&mut net.sim, c, net.echo_server)
+            .unwrap();
+        // Lower bound: every link's base latency, no forwarding delays.
+        let u = net.sim.underlay_mut();
+        let floor = u.base_rtt_ms(net.proxy.index(), net.local_w.index(), TrafficClass::Tor)
+            + u.base_rtt_ms(net.local_w.index(), x.index(), TrafficClass::Tor)
+            + u.base_rtt_ms(x.index(), y.index(), TrafficClass::Tor)
+            + u.base_rtt_ms(y.index(), net.local_z.index(), TrafficClass::Tor)
+            + u.base_rtt_ms(
+                net.local_z.index(),
+                net.echo_server.index(),
+                TrafficClass::Tcp,
+            );
+        for _ in 0..5 {
+            let rtt = net
+                .controller
+                .echo_roundtrip_ms(&mut net.sim, s, vec![7; 4])
+                .unwrap();
+            assert!(rtt >= floor, "rtt {rtt} below floor {floor}");
+        }
+    }
+}

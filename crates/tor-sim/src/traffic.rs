@@ -1,0 +1,78 @@
+//! Finite background workloads.
+//!
+//! The relay's stochastic queueing model ([`crate::relay::RelayConfig`])
+//! is the primary stand-in for network-wide background load, but some
+//! tests want *real* cross-traffic contending in relay queues. A
+//! [`BackgroundSender`] floods a relay with well-formed RELAY cells on
+//! unknown circuits: the relay pays full queue + processing cost before
+//! discarding them, which is exactly the contention a busy relay's other
+//! circuits impose on a Ting probe.
+
+use netsim::{ConnId, Context, NodeId, Process, SimDuration, TrafficClass};
+use tor_protocol::{Cell, CellCommand, CircuitId, PAYLOAD_LEN};
+
+const TIMER_TICK: u64 = 2;
+
+/// Sends `count` junk relay cells to `target` at `interval`, then stops.
+pub struct BackgroundSender {
+    target: NodeId,
+    interval: SimDuration,
+    remaining: u64,
+    conn: Option<ConnId>,
+    sent: u64,
+}
+
+impl BackgroundSender {
+    pub fn new(target: NodeId, interval: SimDuration, count: u64) -> BackgroundSender {
+        BackgroundSender {
+            target,
+            interval,
+            remaining: count,
+            conn: None,
+            sent: 0,
+        }
+    }
+
+    /// Cells sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn send_one(&mut self, ctx: &mut Context) {
+        if let Some(conn) = self.conn {
+            // A decodable cell on a circuit id the relay has never seen:
+            // processed (queued, decrypt attempt impossible → dropped at
+            // lookup) at full cost.
+            let cell = Cell::new(
+                CircuitId(0xffff_0000 | (self.sent as u32 & 0xffff)),
+                CellCommand::Relay,
+                vec![0xbb; PAYLOAD_LEN],
+            );
+            ctx.send(conn, cell.encode());
+            self.sent += 1;
+            self.remaining -= 1;
+        }
+        if self.remaining > 0 {
+            ctx.set_timer(self.interval, TIMER_TICK);
+        }
+    }
+}
+
+impl Process for BackgroundSender {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.conn = Some(ctx.open(self.target, TrafficClass::Tor));
+    }
+
+    fn on_conn_established(&mut self, ctx: &mut Context, _conn: ConnId) {
+        self.send_one(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, id: u64) {
+        if id == TIMER_TICK && self.remaining > 0 {
+            self.send_one(ctx);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Build an all-pairs RTT matrix over live-like Tor relays.
+//!
+//! The §5 applications all consume a cached all-pairs dataset (§4.6
+//! argues stability makes caching sound). This example measures a
+//! small matrix with Ting, prints summary statistics, checks rank
+//! agreement with ground truth, and emits the cacheable TSV form.
+//!
+//! Run with: `cargo run --release --example all_pairs`
+
+use stats::EmpiricalCdf;
+use ting::{RttMatrix, Ting, TingConfig};
+use tor_sim::TorNetworkBuilder;
+
+fn main() {
+    // A live-like network; measure a subset, as the paper measured 50
+    // random relays out of the full consensus.
+    let mut net = TorNetworkBuilder::live(7, 60).build();
+    let subset: Vec<_> = net.relays.iter().copied().take(12).collect();
+    let pairs = subset.len() * (subset.len() - 1) / 2;
+    println!(
+        "measuring all {} pairs of {} relays (of {} total)...",
+        pairs,
+        subset.len(),
+        net.relays.len()
+    );
+
+    let ting = Ting::new(TingConfig::with_samples(60));
+    let matrix = RttMatrix::measure(&mut net, subset.clone(), &ting, |done, total| {
+        if done % 10 == 0 || done == total {
+            println!("  {done}/{total} pairs");
+        }
+    })
+    .expect("matrix measured");
+
+    // Summary (the Fig. 11 CDF's raw material).
+    let values = matrix.values();
+    let cdf = EmpiricalCdf::new(&values);
+    println!();
+    println!("all-pairs RTT summary:");
+    println!("  pairs measured : {}", matrix.measured_pairs());
+    println!(
+        "  min / median / max : {:.1} / {:.1} / {:.1} ms",
+        cdf.min(),
+        cdf.median(),
+        cdf.max()
+    );
+    println!(
+        "  mean (Algorithm 1's µ) : {:.1} ms",
+        matrix.mean_rtt_ms().unwrap()
+    );
+
+    // Rank agreement with ground truth (the Spearman-ρ headline).
+    let mut est = Vec::with_capacity(pairs);
+    let mut truth = Vec::with_capacity(pairs);
+    for (a, b, v) in matrix.pairs() {
+        est.push(v);
+        truth.push(net.true_rtt_ms(a, b));
+    }
+    let rho = stats::spearman(&est, &truth).unwrap();
+    println!("  Spearman rank correlation vs ground truth: {rho:.4}");
+
+    // The cacheable dataset.
+    let tsv = matrix.to_tsv();
+    println!();
+    println!("TSV dataset ({} bytes), first lines:", tsv.len());
+    for line in tsv.lines().take(6) {
+        println!("  {line}");
+    }
+    let reloaded = RttMatrix::from_tsv(&tsv).expect("roundtrip");
+    assert_eq!(reloaded, matrix);
+    println!("  (roundtrip through the TSV form verified)");
+}

@@ -1,0 +1,73 @@
+//! TIV detours and longer low-latency circuits (§5.2).
+//!
+//! Two results from the paper's path-selection study, reproduced over a
+//! Ting-measured matrix:
+//!
+//! * most relay pairs have a triangle-inequality violation — a relay
+//!   whose detour beats the direct path (69% in the paper, Fig. 14);
+//! * circuits longer than 3 hops can match 3-hop RTTs, with *many* more
+//!   circuits to choose from at the same latency (Figs. 16–17).
+//!
+//! Run with: `cargo run --release --example long_circuits`
+
+use analysis::{CircuitLengthAnalysis, TivReport};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use stats::EmpiricalCdf;
+use ting::{RttMatrix, Ting, TingConfig};
+use tor_sim::TorNetworkBuilder;
+
+fn main() {
+    let mut net = TorNetworkBuilder::live(31, 40).build();
+    let subset: Vec<_> = net.relays.iter().copied().take(14).collect();
+    println!(
+        "measuring {}-relay all-pairs matrix with Ting...\n",
+        subset.len()
+    );
+    let ting = Ting::new(TingConfig::fast());
+    let matrix = RttMatrix::measure(&mut net, subset, &ting, |_, _| {}).expect("matrix");
+
+    // ── TIVs (§5.2.1). ──
+    let tiv = TivReport::analyze(&matrix);
+    println!(
+        "triangle-inequality violations: {:.0}% of pairs have one (paper: 69%)",
+        tiv.violation_fraction() * 100.0
+    );
+    let savings = tiv.savings_distribution();
+    if !savings.is_empty() {
+        let cdf = EmpiricalCdf::new(&savings);
+        println!(
+            "  detour savings: median {:.1}%, p90 {:.1}% (paper: median 7.5%, p90 ≥ 28%)",
+            cdf.median(),
+            cdf.quantile(0.9)
+        );
+    }
+
+    // ── Longer circuits (§5.2.2). ──
+    let mut rng = SmallRng::seed_from_u64(5);
+    let analysis = CircuitLengthAnalysis::run(&matrix, 3..=7, 10_000, 3.0, &mut rng);
+    println!("\ncircuits by length (10,000 samples each, scaled to C(n, l)):");
+    println!("{:>6} {:>14} {:>14}", "hops", "median RTT", "in 200-300ms");
+    for s in &analysis.series {
+        // Median binned RTT.
+        let total: f64 = s.scaled_counts.iter().sum();
+        let mut acc = 0.0;
+        let mut median_s = 0.0;
+        for (c, v) in s.bin_centers_s.iter().zip(&s.scaled_counts) {
+            acc += v;
+            if acc >= total / 2.0 {
+                median_s = *c;
+                break;
+            }
+        }
+        let in_band = analysis.circuits_in_range(s.length, 0.2, 0.3);
+        println!(
+            "{:>6} {:>11.0} ms {:>14.3e}",
+            s.length,
+            median_s * 1000.0,
+            in_band
+        );
+    }
+    println!("\nlonger circuits offer orders of magnitude more options at the same RTT band,");
+    println!("which is the paper's argument that circuit length need not cost latency.");
+}

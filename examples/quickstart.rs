@@ -1,0 +1,70 @@
+//! Quickstart: measure the RTT between two Tor relays with Ting.
+//!
+//! Builds a PlanetLab-like simulated Tor network, picks a pair of
+//! relays, runs the full Ting procedure (the three circuits of Fig. 2),
+//! and compares the estimate against the underlay's ground truth and a
+//! ping-based measurement.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ting::{Ting, TingConfig};
+use tor_sim::TorNetworkBuilder;
+
+fn main() {
+    // A deterministic 31-relay validation testbed (paper §4.1).
+    let mut net = TorNetworkBuilder::testbed(2015).build();
+    println!(
+        "built a simulated Tor network: {} relays + measurement host (w, z, echo)",
+        net.relays.len()
+    );
+
+    let (x, y) = (net.relays[4], net.relays[27]);
+    println!("measuring relay pair x={:?}, y={:?}", x, y);
+
+    // Ting with the paper's 200-sample setting.
+    let ting = Ting::new(TingConfig::with_samples(200));
+    let m = ting.measure_pair(&mut net, x, y).expect("measurement");
+
+    let truth = net.true_rtt_ms(x, y);
+    let ping = net.ping_min_rtt_ms(x, y, 100);
+    let est = m.estimate_ms();
+
+    println!();
+    println!(
+        "circuit C_xy=(w,x,y,z) min RTT : {:9.3} ms  ({} samples)",
+        m.full.min_ms(),
+        m.full.len()
+    );
+    println!(
+        "circuit C_x =(w,x)     min RTT : {:9.3} ms  ({} samples)",
+        m.x_leg.min_ms(),
+        m.x_leg.len()
+    );
+    println!(
+        "circuit C_y =(w,y)     min RTT : {:9.3} ms  ({} samples)",
+        m.y_leg.min_ms(),
+        m.y_leg.len()
+    );
+    println!();
+    println!("Ting estimate (Eq. 4)          : {est:9.3} ms");
+    println!("ground truth (underlay)        : {truth:9.3} ms");
+    println!("direct ping  (min of 100)      : {ping:9.3} ms");
+    println!(
+        "relative error vs ground truth : {:8.2}%",
+        (est / truth - 1.0) * 100.0
+    );
+    println!("virtual measurement time       : {:8.1} s", m.elapsed_s);
+
+    // The fast preset: §4.4's "under 15 seconds per pair" trade-off.
+    let fast = Ting::new(TingConfig::fast())
+        .measure_pair(&mut net, x, y)
+        .expect("fast measurement");
+    println!();
+    println!(
+        "fast preset: {:.3} ms with {} samples in {:.1} s (vs {:.3} ms accurate)",
+        fast.estimate_ms(),
+        fast.total_samples(),
+        fast.elapsed_s,
+        est
+    );
+}

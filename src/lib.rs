@@ -1,0 +1,16 @@
+//! Umbrella crate for the Ting reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use
+//! a single dependency. See the individual crates for documentation:
+//! [`ting`] (the measurement technique), [`tor_sim`] (the simulated Tor
+//! overlay), [`netsim`] (the discrete-event underlay), and [`analysis`]
+//! (the paper's Section 5 applications).
+
+pub use analysis;
+pub use geo;
+pub use netsim;
+pub use onion_crypto;
+pub use stats;
+pub use ting;
+pub use tor_protocol;
+pub use tor_sim;
