@@ -117,7 +117,7 @@ pub fn testbed_accuracy_dataset(samples: usize, pairs_limit: usize) -> Vec<Accur
     let results = measure_pairs_parallel(
         move || TorNetworkBuilder::testbed(seed).build(),
         &pairs,
-        Ting::new(TingConfig::with_samples(samples)),
+        TingConfig::with_samples(samples),
     );
     let pts: Vec<AccuracyPoint> = results
         .into_iter()
@@ -135,11 +135,13 @@ pub fn testbed_accuracy_dataset(samples: usize, pairs_limit: usize) -> Vec<Accur
 }
 
 /// Fans pair measurements out over [`threads`] workers. Returns, in
-/// input order, `(ping ground truth, measurement)` per pair.
+/// input order, `(ping ground truth, measurement)` per pair. Each
+/// worker constructs its own [`Ting`] from the config (the driver's
+/// metrics handle is single-threaded by design).
 pub fn measure_pairs_parallel<F>(
     build: F,
     pairs: &[(NodeId, NodeId)],
-    ting: Ting,
+    config: TingConfig,
 ) -> Vec<(f64, TingMeasurement)>
 where
     F: Fn() -> TorNetwork + Sync,
@@ -151,11 +153,11 @@ where
         let mut handles = Vec::new();
         for (t, shard) in pairs.chunks(chunk).enumerate() {
             let build = &build;
-            let ting = ting.clone();
             handles.push((
                 t,
                 scope.spawn(move || {
                     let mut net = build();
+                    let ting = Ting::new(config);
                     shard
                         .iter()
                         .map(|&(x, y)| {
@@ -214,7 +216,7 @@ pub fn live_matrix(n: usize, samples: usize) -> (TorNetwork, RttMatrix) {
     let results = measure_pairs_parallel(
         move || TorNetworkBuilder::live(seed, relay_pool).build(),
         &pair_list,
-        Ting::new(TingConfig::with_samples(samples)),
+        TingConfig::with_samples(samples),
     );
     let mut matrix = RttMatrix::new(nodes);
     for ((a, b), (_, m)) in pair_list.iter().zip(results) {

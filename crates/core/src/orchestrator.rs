@@ -8,8 +8,8 @@
 
 use crate::estimator::{CircuitSamples, TingMeasurement};
 use crate::sampling::SamplePolicy;
-use netsim::NodeId;
-use tor_sim::TorNetwork;
+use netsim::{NodeId, SimDuration, SimTime};
+use tor_sim::{CircuitStatus, MeasurementMetrics, TorNetwork};
 
 /// Ting configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,6 +22,26 @@ pub struct TingConfig {
     /// Pause between consecutive probes on a circuit, ms (gives relay
     /// queues a chance to drain, as a polite real deployment would).
     pub probe_spacing_ms: f64,
+    /// Give up on a circuit build after this long (virtual ms). `None`
+    /// waits forever — only sensible in a fault-free simulation.
+    pub circuit_build_timeout_ms: Option<f64>,
+    /// Give up on the echo stream attach after this long (ms).
+    pub stream_timeout_ms: Option<f64>,
+    /// Give up on an individual probe after this long (ms); the probe
+    /// is discarded, never entering the sample set.
+    pub probe_timeout_ms: Option<f64>,
+    /// Probes allowed to time out within one circuit measurement before
+    /// the attempt is abandoned as [`TingError::ProbeLost`].
+    pub max_lost_probes: u32,
+    /// Attempts per circuit (build + sample), including the first.
+    /// Failed attempts rebuild the circuit through the same relays
+    /// after a backoff.
+    pub max_attempts: u32,
+    /// Base retry backoff (ms); attempt `k` waits `base · 2^(k-1)`,
+    /// scaled by a deterministic jitter in `[0.5, 1.5)`.
+    pub retry_backoff_ms: f64,
+    /// Ceiling on a single backoff pause (ms).
+    pub retry_backoff_cap_ms: f64,
 }
 
 impl Default for TingConfig {
@@ -30,6 +50,16 @@ impl Default for TingConfig {
             policy: SamplePolicy::paper_accurate(),
             payload_len: 8,
             probe_spacing_ms: 5.0,
+            // Generous enough that a fault-free run never hits them
+            // (keeping estimates bit-identical to an untimed run), tight
+            // enough that a dead relay costs seconds, not a hung scan.
+            circuit_build_timeout_ms: Some(30_000.0),
+            stream_timeout_ms: Some(15_000.0),
+            probe_timeout_ms: Some(5_000.0),
+            max_lost_probes: 16,
+            max_attempts: 3,
+            retry_backoff_ms: 500.0,
+            retry_backoff_cap_ms: 8_000.0,
         }
     }
 }
@@ -56,25 +86,78 @@ impl TingConfig {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TingError {
     /// A circuit could not be built through the given relays.
-    CircuitBuildFailed { path: Vec<NodeId> },
+    /// `permanent` marks client-side policy rejections (one-hop path,
+    /// repeated relay, unknown identity) that no retry can fix.
+    CircuitBuildFailed { path: Vec<NodeId>, permanent: bool },
     /// The echo stream never connected.
     StreamFailed,
-    /// A probe got no echo back (circuit died mid-measurement).
+    /// Too many probes got no echo back (circuit died or the path is
+    /// shedding cells).
     ProbeLost,
 }
+
+impl TingError {
+    /// Whether retrying the same operation can possibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(
+            self,
+            TingError::CircuitBuildFailed {
+                permanent: true,
+                ..
+            }
+        )
+    }
+}
+
+impl std::fmt::Display for TingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TingError::CircuitBuildFailed { path, permanent } => {
+                write!(f, "circuit build failed through [")?;
+                for (i, n) in path.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", n.0)?;
+                }
+                write!(
+                    f,
+                    "] ({})",
+                    if *permanent {
+                        "policy rejection"
+                    } else {
+                        "timeout or relay failure"
+                    }
+                )
+            }
+            TingError::StreamFailed => write!(f, "echo stream never connected"),
+            TingError::ProbeLost => write!(f, "too many probes lost without an echo"),
+        }
+    }
+}
+
+impl std::error::Error for TingError {}
 
 /// The Ting measurement driver.
 #[derive(Debug, Clone, Default)]
 pub struct Ting {
     pub config: TingConfig,
+    /// Failure/retry counters and the retry trace, shared with callers
+    /// that keep a clone.
+    pub metrics: MeasurementMetrics,
 }
 
 impl Ting {
     pub fn new(config: TingConfig) -> Ting {
-        Ting { config }
+        Ting {
+            config,
+            metrics: MeasurementMetrics::new(),
+        }
     }
 
     /// Measures `R(x, y)` per §3.3: the three circuits, minima, Eq. (4).
+    /// Each circuit is retried under backoff through the same relays
+    /// before the pair is abandoned.
     pub fn measure_pair(
         &self,
         net: &mut TorNetwork,
@@ -83,9 +166,9 @@ impl Ting {
     ) -> Result<TingMeasurement, TingError> {
         let started = net.sim.now();
         let (w, z) = (net.local_w, net.local_z);
-        let full = self.sample_circuit(net, vec![w, x, y, z])?;
-        let x_leg = self.sample_circuit(net, vec![w, x])?;
-        let y_leg = self.sample_circuit(net, vec![w, y])?;
+        let full = self.sample_circuit_resilient(net, vec![w, x, y, z])?;
+        let x_leg = self.sample_circuit_resilient(net, vec![w, x])?;
+        let y_leg = self.sample_circuit_resilient(net, vec![w, y])?;
         let elapsed_s = (net.sim.now() - started).as_secs_f64();
         Ok(TingMeasurement {
             full,
@@ -95,41 +178,153 @@ impl Ting {
         })
     }
 
+    /// An absolute deadline `timeout_ms` from now, if configured.
+    fn deadline(net: &TorNetwork, timeout_ms: Option<f64>) -> Option<SimTime> {
+        timeout_ms.map(|ms| net.sim.now() + SimDuration::from_millis_f64(ms))
+    }
+
+    /// The backoff pause before retry `attempt` (1-based) of a circuit:
+    /// exponential in the attempt, jittered by a keyed hash of the path
+    /// so concurrent deployments desynchronize — but never drawn from
+    /// the simulation RNG, keeping retries replayable.
+    fn backoff_ms(&self, path: &[NodeId], attempt: u32) -> f64 {
+        let base = self.config.retry_backoff_ms * 2f64.powi(attempt as i32 - 1);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for n in path {
+            h = (h ^ n.0 as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = (h ^ attempt as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        let jitter = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64;
+        (base * jitter).min(self.config.retry_backoff_cap_ms)
+    }
+
+    /// [`Ting::sample_circuit`] under the retry policy: rebuilds the
+    /// circuit through the same relays after transient failures, with
+    /// exponential backoff, and returns the last error once attempts
+    /// are exhausted. Permanent (policy) failures return immediately.
+    pub fn sample_circuit_resilient(
+        &self,
+        net: &mut TorNetwork,
+        path: Vec<NodeId>,
+    ) -> Result<CircuitSamples, TingError> {
+        let attempts = self.config.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                let pause_ms = self.backoff_ms(&path, attempt - 1);
+                self.metrics.on_retry();
+                self.metrics.trace(format!(
+                    "retry attempt={attempt} path={:?} backoff_ms={pause_ms:.1}",
+                    path.iter().map(|n| n.0).collect::<Vec<_>>()
+                ));
+                let t = net.sim.now() + SimDuration::from_millis_f64(pause_ms);
+                net.sim.advance_to(t);
+            }
+            match self.sample_circuit(net, path.clone()) {
+                Ok(samples) => return Ok(samples),
+                Err(e) => {
+                    if !e.is_retryable() {
+                        return Err(e);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
+
     /// Builds one circuit, attaches an echo stream, samples RTTs under
-    /// the policy, and tears the circuit down.
+    /// the policy, and tears the circuit down. Each phase runs under its
+    /// configured timeout; probes that miss their deadline are dropped
+    /// from the sample set (a late echo can only inflate a minimum-based
+    /// estimator if it is mistaken for a fresh reply, so probes are
+    /// content-tagged and matched).
     pub fn sample_circuit(
         &self,
         net: &mut TorNetwork,
         path: Vec<NodeId>,
     ) -> Result<CircuitSamples, TingError> {
-        let circuit = net
-            .controller
-            .build_and_wait(&mut net.sim, path.clone())
-            .ok_or(TingError::CircuitBuildFailed { path })?;
+        let build_deadline = Self::deadline(net, self.config.circuit_build_timeout_ms);
+        let circuit = net.controller.build_circuit(&mut net.sim, path.clone());
+        match build_deadline {
+            Some(d) => net.sim.run_until_idle_or(d),
+            None => net.sim.run_until_idle(),
+        };
+        if net.controller.circuit_status(circuit) != CircuitStatus::Ready {
+            // A local policy rejection (one-hop path, repeated or
+            // unknown relay) can never succeed on retry; anything else
+            // — timeout, refused extend, crashed relay — can.
+            let permanent = net.controller.circuit_error(circuit).is_some();
+            self.metrics.on_circuit_failed();
+            self.metrics.trace(format!(
+                "circuit_failed path={:?} permanent={permanent}",
+                path.iter().map(|n| n.0).collect::<Vec<_>>()
+            ));
+            net.controller.close_circuit(&mut net.sim, circuit);
+            return Err(TingError::CircuitBuildFailed { path, permanent });
+        }
         let echo = net.echo_server;
-        let stream = net
-            .controller
-            .open_stream_and_wait(&mut net.sim, circuit, echo)
-            .ok_or(TingError::StreamFailed)?;
+        let stream_deadline = Self::deadline(net, self.config.stream_timeout_ms);
+        let Some(stream) =
+            net.controller
+                .open_stream_and_wait_until(&mut net.sim, circuit, echo, stream_deadline)
+        else {
+            self.metrics
+                .trace(format!("stream_failed circuit={}", circuit.0));
+            net.controller.close_circuit(&mut net.sim, circuit);
+            return Err(TingError::StreamFailed);
+        };
 
         let mut samples: Vec<f64> = Vec::new();
+        let mut lost: u32 = 0;
+        let mut probe_idx: u64 = 0;
         while self.config.policy.wants_more(&samples) {
-            if self.config.probe_spacing_ms > 0.0 && !samples.is_empty() {
-                let t = net.sim.now()
-                    + netsim::SimDuration::from_millis_f64(self.config.probe_spacing_ms);
+            if self.config.probe_spacing_ms > 0.0 && probe_idx > 0 {
+                let t = net.sim.now() + SimDuration::from_millis_f64(self.config.probe_spacing_ms);
                 net.sim.advance_to(t);
             }
-            let rtt = net
+            let payload = self.probe_payload(probe_idx);
+            probe_idx += 1;
+            let probe_deadline = Self::deadline(net, self.config.probe_timeout_ms);
+            match net
                 .controller
-                .echo_roundtrip_ms(&mut net.sim, stream, vec![0xA5; self.config.payload_len])
-                .ok_or(TingError::ProbeLost)?;
-            samples.push(rtt);
+                .echo_roundtrip_ms_until(&mut net.sim, stream, payload, probe_deadline)
+            {
+                Some(rtt) => samples.push(rtt),
+                None => {
+                    lost += 1;
+                    self.metrics.on_probe_timed_out();
+                    if lost > self.config.max_lost_probes {
+                        self.metrics.trace(format!(
+                            "probes_lost circuit={} lost={lost}",
+                            circuit.0
+                        ));
+                        net.controller.close_stream(&mut net.sim, stream);
+                        net.controller.close_circuit(&mut net.sim, circuit);
+                        return Err(TingError::ProbeLost);
+                    }
+                }
+            }
         }
 
         net.controller.close_stream(&mut net.sim, stream);
         net.controller.close_circuit(&mut net.sim, circuit);
         net.sim.run_until_idle();
         Ok(CircuitSamples::new(samples))
+    }
+
+    /// The probe payload: `payload_len` bytes carrying the probe index
+    /// (little-endian, truncated) so echoes are matchable to their
+    /// probe. Same length for every probe — identical timing.
+    fn probe_payload(&self, probe_idx: u64) -> Vec<u8> {
+        let mut payload = vec![0xA5u8; self.config.payload_len];
+        for (slot, byte) in payload.iter_mut().zip(probe_idx.to_le_bytes()) {
+            *slot = byte;
+        }
+        payload
     }
 }
 

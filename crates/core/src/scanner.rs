@@ -10,8 +10,9 @@
 
 use crate::matrix::RttMatrix;
 use crate::orchestrator::{Ting, TingError};
-use netsim::{NodeId, SimTime};
+use netsim::{NodeId, SimDuration, SimTime};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use tor_sim::TorNetwork;
 
 /// Scanner policy knobs.
@@ -24,6 +25,11 @@ pub struct ScannerConfig {
     /// computational overhead on the Tor network" — a deployment keeps
     /// it that way).
     pub pairs_per_round: usize,
+    /// Base pause before a failed pair is eligible again; failure `k`
+    /// waits `base · 2^(k-1)`, capped below.
+    pub retry_backoff: netsim::SimDuration,
+    /// Ceiling on the per-pair retry pause.
+    pub retry_backoff_cap: netsim::SimDuration,
 }
 
 impl Default for ScannerConfig {
@@ -33,6 +39,8 @@ impl Default for ScannerConfig {
             // inside the window where estimates stay representative.
             staleness: netsim::SimDuration::from_hours(24),
             pairs_per_round: 50,
+            retry_backoff: netsim::SimDuration::from_secs(300),
+            retry_backoff_cap: netsim::SimDuration::from_hours(2),
         }
     }
 }
@@ -45,11 +53,22 @@ pub struct RoundReport {
     pub still_pending: usize,
 }
 
+/// Retry bookkeeping for a pair whose measurement failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FailState {
+    /// Consecutive failures so far.
+    attempts: u32,
+    /// The pair is not eligible again before this instant.
+    next_attempt_at: SimTime,
+}
+
 /// A caching, prioritizing all-pairs scanner.
 pub struct Scanner {
     config: ScannerConfig,
     matrix: RttMatrix,
     measured_at: HashMap<(NodeId, NodeId), SimTime>,
+    /// Pairs under failure backoff.
+    pending_retry: HashMap<(NodeId, NodeId), FailState>,
 }
 
 impl Scanner {
@@ -59,6 +78,7 @@ impl Scanner {
             config,
             matrix: RttMatrix::new(nodes),
             measured_at: HashMap::new(),
+            pending_retry: HashMap::new(),
         }
     }
 
@@ -72,15 +92,30 @@ impl Scanner {
         self.measured_at.get(&key(a, b)).copied()
     }
 
+    /// Failure-backoff state for a pair: `(consecutive failures,
+    /// eligible-again instant)`, if the pair is being backed off.
+    pub fn retry_state(&self, a: NodeId, b: NodeId) -> Option<(u32, SimTime)> {
+        self.pending_retry
+            .get(&key(a, b))
+            .map(|f| (f.attempts, f.next_attempt_at))
+    }
+
     /// Pairs the scanner would measure next, most urgent first:
-    /// never-measured pairs, then stale ones, oldest first.
+    /// never-measured pairs, then stale ones, oldest first. Pairs whose
+    /// failure backoff has not expired are withheld.
     pub fn plan_round(&self, now: SimTime) -> Vec<(NodeId, NodeId)> {
         let nodes = self.matrix.nodes().to_vec();
         let mut unmeasured = Vec::new();
         let mut stale: Vec<((NodeId, NodeId), SimTime)> = Vec::new();
         for (i, &a) in nodes.iter().enumerate() {
             for &b in &nodes[i + 1..] {
-                match self.measured_at.get(&key(a, b)) {
+                let k = key(a, b);
+                if let Some(f) = self.pending_retry.get(&k) {
+                    if now < f.next_attempt_at {
+                        continue; // backing off
+                    }
+                }
+                match self.measured_at.get(&k) {
                     None => unmeasured.push((a, b)),
                     Some(&t) => {
                         if now.since(t) >= self.config.staleness {
@@ -98,9 +133,20 @@ impl Scanner {
             .collect()
     }
 
+    /// The backoff pause after the `attempts`-th consecutive failure.
+    fn backoff(&self, attempts: u32) -> SimDuration {
+        let base_ns = self.config.retry_backoff.as_nanos();
+        let shift = (attempts.saturating_sub(1)).min(32);
+        let ns = base_ns
+            .saturating_mul(1u64 << shift)
+            .min(self.config.retry_backoff_cap.as_nanos());
+        SimDuration::from_nanos(ns)
+    }
+
     /// Executes one round against the network. Failed measurements
-    /// (circuit build failures on churned relays) stay pending for the
-    /// next round rather than poisoning the cache.
+    /// (circuit build failures on churned relays, lost probes) are
+    /// re-queued under exponential backoff rather than poisoning the
+    /// cache or hot-looping on a dead relay.
     pub fn run_round(&mut self, net: &mut TorNetwork, ting: &Ting) -> RoundReport {
         let plan = self.plan_round(net.sim.now());
         let mut measured = 0;
@@ -110,12 +156,33 @@ impl Scanner {
                 Ok(m) => {
                     self.matrix.set(a, b, m.estimate_ms());
                     self.measured_at.insert(key(a, b), net.sim.now());
+                    self.pending_retry.remove(&key(a, b));
                     measured += 1;
                 }
-                Err(TingError::CircuitBuildFailed { .. })
-                | Err(TingError::StreamFailed)
-                | Err(TingError::ProbeLost) => {
+                Err(
+                    TingError::CircuitBuildFailed { .. }
+                    | TingError::StreamFailed
+                    | TingError::ProbeLost,
+                ) => {
                     failed += 1;
+                    let attempts = self
+                        .pending_retry
+                        .get(&key(a, b))
+                        .map_or(0, |f| f.attempts)
+                        + 1;
+                    let next_attempt_at = net.sim.now() + self.backoff(attempts);
+                    self.pending_retry.insert(
+                        key(a, b),
+                        FailState {
+                            attempts,
+                            next_attempt_at,
+                        },
+                    );
+                    ting.metrics.on_pair_requeued();
+                    ting.metrics.trace(format!(
+                        "pair_requeued a={} b={} attempts={attempts}",
+                        a.0, b.0
+                    ));
                 }
             }
         }
@@ -135,6 +202,144 @@ impl Scanner {
             return 1.0;
         }
         self.matrix.measured_pairs() as f64 / total as f64
+    }
+
+    /// Serializes the scanner's full state — config, cache, measurement
+    /// timestamps, and per-pair retry backoff — to a plain-text
+    /// checkpoint. A scan killed mid-run and resumed via
+    /// [`Scanner::from_checkpoint`] continues exactly where it stopped:
+    /// completed pairs stay done, failed pairs stay under backoff.
+    pub fn to_checkpoint(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# ting scan checkpoint v1\n");
+        out.push_str("# nodes:");
+        for n in self.matrix.nodes() {
+            let _ = write!(out, " {}", n.0);
+        }
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "# config: staleness_ns={} pairs_per_round={} retry_backoff_ns={} retry_backoff_cap_ns={}",
+            self.config.staleness.as_nanos(),
+            self.config.pairs_per_round,
+            self.config.retry_backoff.as_nanos(),
+            self.config.retry_backoff_cap.as_nanos(),
+        );
+        // `{}` on f64 prints the shortest exactly-roundtripping form.
+        for (a, b, rtt) in self.matrix.pairs() {
+            let t = self.measured_at[&key(a, b)];
+            let _ = writeln!(out, "m\t{}\t{}\t{}\t{}", a.0, b.0, rtt, t.as_nanos());
+        }
+        let nodes = self.matrix.nodes();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                if let Some(f) = self.pending_retry.get(&key(a, b)) {
+                    let _ = writeln!(
+                        out,
+                        "f\t{}\t{}\t{}\t{}",
+                        a.0,
+                        b.0,
+                        f.attempts,
+                        f.next_attempt_at.as_nanos()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a [`Scanner::to_checkpoint`] document.
+    pub fn from_checkpoint(text: &str) -> Result<Scanner, String> {
+        let mut lines = text.lines();
+        let magic = lines.next().ok_or("empty checkpoint")?;
+        if !magic.starts_with("# ting scan checkpoint") {
+            return Err(format!("bad magic line: {magic:?}"));
+        }
+        let nodes_line = lines.next().ok_or("missing node list")?;
+        let nodes: Vec<NodeId> = nodes_line
+            .trim_start_matches("# nodes:")
+            .split_whitespace()
+            .map(|t| t.parse::<u32>().map(NodeId).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        let config_line = lines.next().ok_or("missing config line")?;
+        let mut config = ScannerConfig::default();
+        for tok in config_line.trim_start_matches("# config:").split_whitespace() {
+            let (k, v) = tok.split_once('=').ok_or_else(|| format!("bad token {tok:?}"))?;
+            let v: u64 = v.parse().map_err(|e| format!("{k}: {e}"))?;
+            match k {
+                "staleness_ns" => config.staleness = SimDuration::from_nanos(v),
+                "pairs_per_round" => config.pairs_per_round = v as usize,
+                "retry_backoff_ns" => config.retry_backoff = SimDuration::from_nanos(v),
+                "retry_backoff_cap_ns" => config.retry_backoff_cap = SimDuration::from_nanos(v),
+                other => return Err(format!("unknown config key {other:?}")),
+            }
+        }
+        let mut scanner = Scanner::new(nodes, config);
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: &str| format!("line {}: {msg}", lineno + 4);
+            let mut f = line.split('\t');
+            let tag = f.next().ok_or_else(|| err("empty"))?;
+            let a = NodeId(
+                f.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad node a"))?,
+            );
+            let b = NodeId(
+                f.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad node b"))?,
+            );
+            match tag {
+                "m" => {
+                    let rtt: f64 = f
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad rtt"))?;
+                    let t_ns: u64 = f
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad timestamp"))?;
+                    scanner.matrix.set(a, b, rtt);
+                    scanner
+                        .measured_at
+                        .insert(key(a, b), SimTime::ZERO + SimDuration::from_nanos(t_ns));
+                }
+                "f" => {
+                    let attempts: u32 = f
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad attempts"))?;
+                    let next_ns: u64 = f
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad next-attempt time"))?;
+                    scanner.pending_retry.insert(
+                        key(a, b),
+                        FailState {
+                            attempts,
+                            next_attempt_at: SimTime::ZERO + SimDuration::from_nanos(next_ns),
+                        },
+                    );
+                }
+                other => return Err(err(&format!("unknown tag {other:?}"))),
+            }
+        }
+        Ok(scanner)
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_checkpoint())
+    }
+
+    /// Loads a scanner from a checkpoint file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Scanner> {
+        let text = std::fs::read_to_string(path)?;
+        Scanner::from_checkpoint(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -160,6 +365,7 @@ mod tests {
             ScannerConfig {
                 staleness: netsim::SimDuration::from_hours(24),
                 pairs_per_round,
+                ..ScannerConfig::default()
             },
         );
         (net, scanner, Ting::new(TingConfig::fast()))

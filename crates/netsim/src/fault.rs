@@ -1,0 +1,297 @@
+//! Fault injection for the event engine.
+//!
+//! A [`FaultPlan`] describes adverse conditions the simulator imposes on
+//! an otherwise-healthy run: silent message loss, delay spikes, long
+//! stream stalls, and node crash/reboot windows. The measurement stack
+//! above (circuit timeouts, retries, checkpointed scans) exists to
+//! survive exactly these, so the plan is designed for reproducible
+//! experiments:
+//!
+//! * **Deterministic.** Fault decisions come from a SplitMix64-style
+//!   keyed hash over `(plan seed, draw counter)` — the same generator
+//!   family the underlay uses for congestion drift — never from the
+//!   simulator's run RNG. Two runs with the same seed, plan, and call
+//!   sequence inject byte-identical faults.
+//! * **Strict no-op when disabled.** If every rate is zero and there are
+//!   no crash windows, [`FaultPlan::is_enabled`] is false and the
+//!   simulator takes the exact pre-fault code path: no draws, no state
+//!   changes, bit-identical event streams and estimates.
+//! * **Never wall-clock.** Everything is keyed on [`SimTime`].
+
+use crate::sim::NodeId;
+use crate::time::SimTime;
+use std::cell::Cell;
+
+/// A window during which a node is crashed: events addressed to it are
+/// dropped and connections to it cannot be opened. `until == None`
+/// means the node never comes back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashWindow {
+    pub node: NodeId,
+    pub from: SimTime,
+    pub until: Option<SimTime>,
+}
+
+impl CrashWindow {
+    pub fn covers(&self, node: NodeId, t: SimTime) -> bool {
+        self.node == node && t >= self.from && self.until.is_none_or(|u| t < u)
+    }
+}
+
+/// Counters describing what the plan actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages silently dropped on links.
+    pub messages_dropped: u64,
+    /// Messages that were delayed by a jitter spike.
+    pub spikes_injected: u64,
+    /// Messages that were stalled for a long period.
+    pub stalls_injected: u64,
+    /// Events dropped because the destination node was crashed.
+    pub events_dropped_at_down_node: u64,
+    /// Connection handshakes blackholed (target down at SYN time).
+    pub connects_blackholed: u64,
+}
+
+/// A deterministic fault-injection plan.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Probability a sent message is silently dropped.
+    pub link_loss_prob: f64,
+    /// Probability a message is delayed by an extra exponential spike.
+    pub jitter_spike_prob: f64,
+    /// Mean of the injected spike (ms).
+    pub jitter_spike_mean_ms: f64,
+    /// Probability a message stalls for a long, fixed period — the
+    /// "stream hangs, then suddenly drains" failure mode.
+    pub stall_prob: f64,
+    /// Stall duration (ms).
+    pub stall_ms: f64,
+    crash_windows: Vec<CrashWindow>,
+    /// Monotone draw counter (interior-mutable so read paths stay `&`).
+    draws: Cell<u64>,
+    /// Injection counters.
+    messages_dropped: Cell<u64>,
+    spikes_injected: Cell<u64>,
+    stalls_injected: Cell<u64>,
+    events_dropped: Cell<u64>,
+    connects_blackholed: Cell<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default).
+    pub fn disabled() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// An empty plan with a fault seed; configure rates via the `with_*`
+    /// builders or field access.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    pub fn with_link_loss(mut self, prob: f64) -> FaultPlan {
+        self.link_loss_prob = prob;
+        self
+    }
+
+    pub fn with_jitter_spikes(mut self, prob: f64, mean_ms: f64) -> FaultPlan {
+        self.jitter_spike_prob = prob;
+        self.jitter_spike_mean_ms = mean_ms;
+        self
+    }
+
+    pub fn with_stalls(mut self, prob: f64, stall_ms: f64) -> FaultPlan {
+        self.stall_prob = prob;
+        self.stall_ms = stall_ms;
+        self
+    }
+
+    /// Crashes `node` during `[from, until)`.
+    pub fn with_crash(mut self, node: NodeId, from: SimTime, until: SimTime) -> FaultPlan {
+        self.crash_windows.push(CrashWindow {
+            node,
+            from,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// Crashes `node` at `from`, permanently.
+    pub fn with_crash_forever(mut self, node: NodeId, from: SimTime) -> FaultPlan {
+        self.crash_windows.push(CrashWindow {
+            node,
+            from,
+            until: None,
+        });
+        self
+    }
+
+    /// Adds a crash window at runtime (e.g. churn-driven departures).
+    pub fn add_crash(&mut self, node: NodeId, from: SimTime, until: Option<SimTime>) {
+        self.crash_windows.push(CrashWindow { node, from, until });
+    }
+
+    /// Removes all crash windows for `node` (the node "reboots" and
+    /// future events reach it again).
+    pub fn clear_crashes(&mut self, node: NodeId) {
+        self.crash_windows.retain(|w| w.node != node);
+    }
+
+    pub fn crash_windows(&self) -> &[CrashWindow] {
+        &self.crash_windows
+    }
+
+    /// True when the plan can inject anything at all. The simulator
+    /// checks this before every fault hook, so a disabled plan is a
+    /// strict no-op: no draws happen and event streams are bit-identical
+    /// to a build without fault support.
+    pub fn is_enabled(&self) -> bool {
+        self.link_loss_prob > 0.0
+            || (self.jitter_spike_prob > 0.0 && self.jitter_spike_mean_ms > 0.0)
+            || (self.stall_prob > 0.0 && self.stall_ms > 0.0)
+            || !self.crash_windows.is_empty()
+    }
+
+    /// Whether `node` is crashed at `t`.
+    pub fn node_down(&self, node: NodeId, t: SimTime) -> bool {
+        self.crash_windows.iter().any(|w| w.covers(node, t))
+    }
+
+    /// One uniform draw in `[0, 1)` from the keyed-hash stream.
+    fn draw_u01(&self) -> f64 {
+        let n = self.draws.get();
+        self.draws.set(n + 1);
+        let mut h = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(n);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether to silently drop a message. Call only when enabled.
+    pub(crate) fn drop_message(&self) -> bool {
+        if self.link_loss_prob <= 0.0 {
+            return false;
+        }
+        let dropped = self.draw_u01() < self.link_loss_prob;
+        if dropped {
+            self.messages_dropped.set(self.messages_dropped.get() + 1);
+        }
+        dropped
+    }
+
+    /// Extra delay (ms) injected onto a surviving message: a possible
+    /// exponential jitter spike plus a possible long stall.
+    pub(crate) fn extra_delay_ms(&self) -> f64 {
+        let mut extra = 0.0;
+        if self.jitter_spike_prob > 0.0 && self.jitter_spike_mean_ms > 0.0 {
+            let u = self.draw_u01();
+            if u < self.jitter_spike_prob {
+                let v = self.draw_u01().min(1.0 - 1e-12);
+                extra += -(1.0 - v).ln() * self.jitter_spike_mean_ms;
+                self.spikes_injected.set(self.spikes_injected.get() + 1);
+            }
+        }
+        if self.stall_prob > 0.0 && self.stall_ms > 0.0 && self.draw_u01() < self.stall_prob {
+            extra += self.stall_ms;
+            self.stalls_injected.set(self.stalls_injected.get() + 1);
+        }
+        extra
+    }
+
+    pub(crate) fn count_event_dropped(&self) {
+        self.events_dropped.set(self.events_dropped.get() + 1);
+    }
+
+    pub(crate) fn count_connect_blackholed(&self) {
+        self.connects_blackholed
+            .set(self.connects_blackholed.get() + 1);
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            messages_dropped: self.messages_dropped.get(),
+            spikes_injected: self.spikes_injected.get(),
+            stalls_injected: self.stalls_injected.get(),
+            events_dropped_at_down_node: self.events_dropped.get(),
+            connects_blackholed: self.connects_blackholed.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn disabled_plan_is_disabled() {
+        assert!(!FaultPlan::disabled().is_enabled());
+        assert!(!FaultPlan::new(7).is_enabled());
+        assert!(FaultPlan::new(7).with_link_loss(0.1).is_enabled());
+        assert!(FaultPlan::new(7).with_stalls(0.1, 100.0).is_enabled());
+        // Zero-rate knobs stay disabled.
+        assert!(!FaultPlan::new(7).with_link_loss(0.0).is_enabled());
+        assert!(!FaultPlan::new(7).with_stalls(0.5, 0.0).is_enabled());
+    }
+
+    #[test]
+    fn crash_windows_cover_correct_interval() {
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        let plan = FaultPlan::new(1).with_crash(NodeId(3), t(10), t(20));
+        assert!(plan.is_enabled());
+        assert!(!plan.node_down(NodeId(3), t(9)));
+        assert!(plan.node_down(NodeId(3), t(10)));
+        assert!(plan.node_down(NodeId(3), t(19)));
+        assert!(!plan.node_down(NodeId(3), t(20)));
+        assert!(!plan.node_down(NodeId(4), t(15)));
+
+        let forever = FaultPlan::new(1).with_crash_forever(NodeId(5), t(100));
+        assert!(forever.node_down(NodeId(5), t(1_000_000)));
+        assert!(!forever.node_down(NodeId(5), t(99)));
+    }
+
+    #[test]
+    fn clear_crashes_reboots_node() {
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        let mut plan = FaultPlan::new(1).with_crash_forever(NodeId(2), t(0));
+        assert!(plan.node_down(NodeId(2), t(50)));
+        plan.clear_crashes(NodeId(2));
+        assert!(!plan.node_down(NodeId(2), t(50)));
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let run = |seed| {
+            let plan = FaultPlan::new(seed).with_link_loss(0.3);
+            (0..64).map(|_| plan.drop_message()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored() {
+        let plan = FaultPlan::new(42).with_link_loss(0.25);
+        let dropped = (0..10_000).filter(|_| plan.drop_message()).count();
+        assert!((2000..3000).contains(&dropped), "dropped {dropped}");
+        assert_eq!(plan.stats().messages_dropped, dropped as u64);
+    }
+
+    #[test]
+    fn stalls_add_the_configured_delay() {
+        let plan = FaultPlan::new(5).with_stalls(1.0, 750.0);
+        let d = plan.extra_delay_ms();
+        assert!(d >= 750.0);
+        assert_eq!(plan.stats().stalls_injected, 1);
+    }
+}

@@ -32,6 +32,7 @@
 //! that batches the actions they emit.
 
 pub mod event;
+pub mod fault;
 pub mod process;
 pub mod sim;
 pub mod time;
@@ -39,6 +40,7 @@ pub mod trace;
 pub mod underlay;
 
 pub use event::{Event, EventKind};
+pub use fault::{CrashWindow, FaultPlan, FaultStats};
 pub use process::{Context, Process};
 pub use sim::{ConnId, NodeId, Simulator};
 pub use time::{SimDuration, SimTime};

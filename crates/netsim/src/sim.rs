@@ -1,6 +1,7 @@
 //! The simulator engine: nodes, connections, and the dispatch loop.
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::FaultPlan;
 use crate::process::{Context, Op, Process};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, Tracer};
@@ -8,6 +9,10 @@ use crate::underlay::{TrafficClass, Underlay};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+/// How long an opener waits for a SYN+ACK that never comes before the
+/// connection attempt is reported closed (blackholed connects only).
+const CONNECT_TIMEOUT_MS: f64 = 3_000.0;
 
 /// Identifies a node (dense index, shared with the underlay).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -66,6 +71,7 @@ pub struct Simulator {
     rng: SmallRng,
     next_conn: u64,
     tracer: Option<Tracer>,
+    faults: FaultPlan,
 }
 
 impl Simulator {
@@ -81,12 +87,29 @@ impl Simulator {
             rng: SmallRng::seed_from_u64(seed),
             next_conn: 0,
             tracer: None,
+            faults: FaultPlan::disabled(),
         }
     }
 
     /// Attaches an event tracer (keep a clone to read events later).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = Some(tracer);
+    }
+
+    /// Installs a fault-injection plan. A disabled plan (the default)
+    /// leaves every code path bit-identical to a fault-free build.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Mutable access, e.g. to add churn-driven crash windows mid-run.
+    pub fn fault_plan_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
     }
 
     /// Attaches `process` to the next underlay node. Must be called once
@@ -187,6 +210,27 @@ impl Simulator {
         n
     }
 
+    /// Runs until the queue drains or the next event lies past
+    /// `deadline`, **without** advancing the clock to the deadline.
+    ///
+    /// This is the timeout primitive the resilient measurement pipeline
+    /// uses: when nothing is lost the queue drains exactly as
+    /// [`Simulator::run_until_idle`] would (identical event stream,
+    /// identical final clock), and when a reply never comes the caller
+    /// observes the deadline expiring instead of blocking forever.
+    pub fn run_until_idle_or(&mut self, deadline: SimTime) -> u64 {
+        self.ensure_started();
+        let mut n = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        n
+    }
+
     fn ensure_started(&mut self) {
         for i in 0..self.processes.len() {
             if !self.started[i] {
@@ -204,6 +248,23 @@ impl Simulator {
         };
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
+        // A crashed node receives nothing: its deliveries, handshake
+        // notifications, and timers all vanish while it is down. (On
+        // reboot the process resumes with its pre-crash state, like a
+        // daemon restarted from a snapshot; anything in flight is gone.)
+        if self.faults.is_enabled() {
+            let dest = match ev.kind {
+                EventKind::Deliver { to, .. } => to,
+                EventKind::ConnOpened { at, .. } => at,
+                EventKind::ConnEstablished { at, .. } => at,
+                EventKind::ConnClosed { at, .. } => at,
+                EventKind::Timer { node, .. } => node,
+            };
+            if self.faults.node_down(dest, ev.at) {
+                self.faults.count_event_dropped();
+                return true;
+            }
+        }
         match ev.kind {
             EventKind::Deliver { conn, to, data } => {
                 if let Some(t) = &self.tracer {
@@ -292,6 +353,32 @@ impl Simulator {
     }
 
     fn do_open(&mut self, from: NodeId, conn: ConnId, to: NodeId, class: TrafficClass) {
+        // A SYN toward a crashed host is blackholed: neither side ever
+        // hears anything, and the opener's higher layers must time out.
+        if self.faults.is_enabled()
+            && (self.faults.node_down(to, self.now) || self.faults.node_down(from, self.now))
+        {
+            self.faults.count_connect_blackholed();
+            self.conns.insert(
+                conn,
+                ConnState {
+                    a: from,
+                    b: to,
+                    class,
+                    ready_at: SimTime::ZERO,
+                    last_delivery_a2b: SimTime::ZERO,
+                    last_delivery_b2a: SimTime::ZERO,
+                    closed: true,
+                },
+            );
+            // The opener's SYN retransmissions expire after a fixed
+            // timeout; surface the failure as a close so its process
+            // can drop cached state for the dead connection.
+            let at = self.now + SimDuration::from_millis_f64(CONNECT_TIMEOUT_MS);
+            self.queue
+                .schedule(at, EventKind::ConnClosed { conn, at: from });
+            return;
+        }
         // SYN: one sampled one-way delay to the acceptor…
         let syn_ms =
             self.underlay
@@ -349,7 +436,17 @@ impl Simulator {
             tx_at,
             &mut self.rng,
         );
-        let mut deliver_at = tx_at + SimDuration::from_millis_f64(owd_ms);
+        // Fault hooks: silent loss drops the message entirely; spikes
+        // and stalls add delay on top of the sampled one-way latency.
+        let fault_extra_ms = if self.faults.is_enabled() {
+            if self.faults.node_down(from, tx_at) || self.faults.drop_message() {
+                return;
+            }
+            self.faults.extra_delay_ms()
+        } else {
+            0.0
+        };
+        let mut deliver_at = tx_at + SimDuration::from_millis_f64(owd_ms + fault_extra_ms);
         // FIFO per direction: a message can't overtake its predecessor.
         let last = if from == state.a {
             &mut state.last_delivery_a2b
@@ -665,6 +762,119 @@ mod tests {
             assert!(w[0].at() <= w[1].at());
         }
         let _ = b;
+    }
+
+    fn two_node_sim(seed: u64, pings: u32, results: Rc<RefCell<Vec<f64>>>) -> Simulator {
+        let world = World::new();
+        let nyc = world.city("New York").unwrap().location;
+        let lon = world.city("London").unwrap().location;
+        let mut u = Underlay::new(UnderlayConfig::default(), 5);
+        let a = u.add_as(AsProfile::datacenter("a", nyc));
+        let b = u.add_as(AsProfile::datacenter("b", lon));
+        let mut seed_rng = SmallRng::seed_from_u64(1);
+        u.add_node_in(a, nyc, [10, 0, 0, 1], &mut seed_rng);
+        u.add_node_in(b, lon, [10, 1, 0, 1], &mut seed_rng);
+        let mut sim = Simulator::new(u, seed);
+        sim.add_process(Box::new(PingDriver {
+            target: NodeId(1),
+            remaining: pings,
+            conn: None,
+            sent_at: SimTime::ZERO,
+            results,
+        }));
+        sim.add_process(Box::new(EchoServer));
+        sim
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_bit_identical_to_no_plan() {
+        let run = |plan: Option<crate::fault::FaultPlan>| {
+            let results = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = two_node_sim(321, 40, results.clone());
+            if let Some(p) = plan {
+                sim.set_fault_plan(p);
+            }
+            sim.run_until_idle();
+            let out = results.borrow().clone();
+            (out, sim.now())
+        };
+        let baseline = run(None);
+        // A plan with every rate at zero must not perturb anything.
+        let zeroed = run(Some(
+            crate::fault::FaultPlan::new(777)
+                .with_link_loss(0.0)
+                .with_jitter_spikes(0.0, 50.0)
+                .with_stalls(0.5, 0.0),
+        ));
+        assert_eq!(baseline, zeroed);
+    }
+
+    #[test]
+    fn link_loss_drops_some_echoes() {
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = two_node_sim(321, 40, results.clone());
+        sim.set_fault_plan(crate::fault::FaultPlan::new(9).with_link_loss(0.5));
+        sim.run_until_idle(); // terminates: a lost ping ends the driver's loop
+        let stats = sim.fault_plan().stats();
+        assert!(stats.messages_dropped >= 1);
+        assert!(results.borrow().len() < 40, "all 40 pings survived 50% loss");
+    }
+
+    #[test]
+    fn crashed_target_blackholes_connect() {
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = two_node_sim(5, 3, results.clone());
+        sim.set_fault_plan(
+            crate::fault::FaultPlan::new(1).with_crash_forever(NodeId(1), SimTime::ZERO),
+        );
+        sim.run_until_idle();
+        // No ConnEstablished ever fires, so the driver never sends.
+        assert!(results.borrow().is_empty());
+        assert_eq!(sim.fault_plan().stats().connects_blackholed, 1);
+    }
+
+    #[test]
+    fn crash_window_drops_events_then_recovers() {
+        // Crash the echo server for a window covering the whole run:
+        // every delivery to it is dropped.
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = two_node_sim(5, 3, results.clone());
+        let from = SimTime::ZERO + SimDuration::from_millis(200);
+        sim.set_fault_plan(crate::fault::FaultPlan::new(1).with_crash(
+            NodeId(1),
+            from,
+            from + SimDuration::from_hours(1),
+        ));
+        sim.run_until_idle();
+        let n_before_crash = results.borrow().len();
+        assert!(n_before_crash < 3, "crash never bit");
+        // After the window the node answers again.
+        sim.advance_to(from + SimDuration::from_hours(2));
+        assert!(!sim
+            .fault_plan()
+            .node_down(NodeId(1), from + SimDuration::from_hours(2)));
+    }
+
+    #[test]
+    fn stalls_delay_but_deliver() {
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = two_node_sim(321, 10, results.clone());
+        sim.set_fault_plan(crate::fault::FaultPlan::new(4).with_stalls(1.0, 5_000.0));
+        sim.run_until_idle();
+        // Every message stalls 5 s each way, but they all arrive.
+        assert_eq!(results.borrow().len(), 10);
+        assert!(results.borrow().iter().all(|&r| r >= 10_000.0));
+    }
+
+    #[test]
+    fn run_until_idle_or_does_not_advance_clock_past_queue() {
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = two_node_sim(321, 5, results.clone());
+        let deadline = SimTime::ZERO + SimDuration::from_hours(1);
+        sim.run_until_idle_or(deadline);
+        assert_eq!(results.borrow().len(), 5);
+        // Unlike run_until, the clock stays at the last event.
+        assert!(sim.now() < deadline);
     }
 
     #[test]

@@ -561,7 +561,7 @@ mod tests {
         let f1 = u.inflation(AsId(0), AsId(1));
         let f2 = u.inflation(AsId(1), AsId(0));
         assert_eq!(f1, f2);
-        assert!(f1 >= 1.15 && f1 <= 3.0, "inflation {f1}");
+        assert!((1.15..=3.0).contains(&f1), "inflation {f1}");
         // Rebuilding with the same seed gives the same draw.
         let (mut u2, _, _) = two_as_underlay();
         assert_eq!(u2.inflation(AsId(0), AsId(1)), f1);
@@ -711,9 +711,11 @@ mod tests {
     #[test]
     fn loss_model_delays_but_never_drops() {
         let world = World::new();
-        let mut cfg = UnderlayConfig::default();
-        cfg.loss_prob = 0.10;
-        cfg.retransmit_penalty_ms = 150.0;
+        let cfg = UnderlayConfig {
+            loss_prob: 0.10,
+            retransmit_penalty_ms: 150.0,
+            ..UnderlayConfig::default()
+        };
         let mut u = Underlay::new(cfg, 21);
         let nyc = world.city("New York").unwrap().location;
         let lon = world.city("London").unwrap().location;

@@ -99,8 +99,8 @@ impl Fe {
 
     fn add(self, rhs: Fe) -> Fe {
         let mut l = [0u64; 5];
-        for i in 0..5 {
-            l[i] = self.0[i] + rhs.0[i];
+        for (i, limb) in l.iter_mut().enumerate() {
+            *limb = self.0[i] + rhs.0[i];
         }
         Fe(l).reduce_weak()
     }
@@ -137,7 +137,7 @@ impl Fe {
         let mut t4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
 
         // Carry chain.
-        let mut c = (t0 >> 51) as u128;
+        let mut c = t0 >> 51;
         t1 += c;
         let r0 = (t0 as u64) & MASK51;
         c = t1 >> 51;
@@ -166,8 +166,8 @@ impl Fe {
     /// Multiplies by the small constant 121665 (the curve's (A−2)/4).
     fn mul_small(self, k: u64) -> Fe {
         let mut t = [0u128; 5];
-        for i in 0..5 {
-            t[i] = self.0[i] as u128 * k as u128;
+        for (i, word) in t.iter_mut().enumerate() {
+            *word = self.0[i] as u128 * k as u128;
         }
         let mut l = [0u64; 5];
         let mut c: u128 = 0;

@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn extend2_fits_in_relay_cell() {
-        assert!(Extend2::LEN <= crate::relay::RELAY_DATA_LEN);
-        assert!(Extended2::LEN <= crate::relay::RELAY_DATA_LEN);
+        const _: () = assert!(Extend2::LEN <= crate::relay::RELAY_DATA_LEN);
+        const _: () = assert!(Extended2::LEN <= crate::relay::RELAY_DATA_LEN);
     }
 }

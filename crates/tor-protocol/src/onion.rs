@@ -350,8 +350,8 @@ mod tests {
         let (mut client, mut relays) = circuit(10);
         let cell = rc(42);
         let mut payload = client.encrypt_forward(9, &cell);
-        for i in 0..9 {
-            match relays[i].process_forward(&payload) {
+        for (i, relay) in relays.iter_mut().take(9).enumerate() {
+            match relay.process_forward(&payload) {
                 RelayCryptoOutcome::Forward(next) => payload = next,
                 RelayCryptoOutcome::Recognized(_) => panic!("early recognition at {i}"),
             }

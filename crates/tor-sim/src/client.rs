@@ -384,7 +384,7 @@ impl OnionProxy {
                     return;
                 };
                 self.circ_index.remove(&(c.link, c.circ_id));
-                for (_, stream_handle) in &c.streams {
+                for stream_handle in c.streams.values() {
                     self.shared
                         .borrow_mut()
                         .stream_status

@@ -79,6 +79,18 @@ impl Consensus {
         self.relays.iter().find(|r| r.node == node)
     }
 
+    /// Marks a relay up or down, as a directory refresh would. Returns
+    /// false when the relay is not in the consensus.
+    pub fn set_running(&mut self, node: NodeId, running: bool) -> bool {
+        match self.relays.iter_mut().find(|r| r.node == node) {
+            Some(r) => {
+                r.flags.running = running;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Uniform-random running relay ("traditional Tor" in §5.1.1).
     pub fn pick_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&RelayDescriptor> {
         let running: Vec<&RelayDescriptor> =

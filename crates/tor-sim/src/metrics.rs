@@ -7,7 +7,7 @@
 //! simulator. Used by tests to assert on internal behaviour (queue
 //! depths, teardown completeness) without poking at private state.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Counters one relay maintains. All monotonic except the gauges.
@@ -22,6 +22,8 @@ struct Inner {
     queue_depth: Cell<u64>,
     queue_high_water: Cell<u64>,
     busy_ms_accumulated: Cell<f64>,
+    cells_dropped: Cell<u64>,
+    extends_refused: Cell<u64>,
 }
 
 /// A cheap, clonable handle to one relay's counters.
@@ -43,6 +45,10 @@ pub struct MetricsSnapshot {
     pub queue_high_water: u64,
     /// Total simulated milliseconds spent processing cells.
     pub busy_ms_accumulated: f64,
+    /// Cells shed under injected overload faults.
+    pub cells_dropped: u64,
+    /// EXTEND2 requests the relay refused under injected faults.
+    pub extends_refused: u64,
 }
 
 impl RelayMetrics {
@@ -100,6 +106,18 @@ impl RelayMetrics {
             .set(self.inner.streams_opened.get() + 1);
     }
 
+    pub(crate) fn on_cell_dropped(&self) {
+        self.inner
+            .cells_dropped
+            .set(self.inner.cells_dropped.get() + 1);
+    }
+
+    pub(crate) fn on_extend_refused(&self) {
+        self.inner
+            .extends_refused
+            .set(self.inner.extends_refused.get() + 1);
+    }
+
     /// Reads all counters at once.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -112,6 +130,8 @@ impl RelayMetrics {
             queue_depth: self.inner.queue_depth.get(),
             queue_high_water: self.inner.queue_high_water.get(),
             busy_ms_accumulated: self.inner.busy_ms_accumulated.get(),
+            cells_dropped: self.inner.cells_dropped.get(),
+            extends_refused: self.inner.extends_refused.get(),
         }
     }
 }
@@ -121,5 +141,84 @@ impl MetricsSnapshot {
     pub fn open_circuits(&self) -> u64 {
         self.circuits_created
             .saturating_sub(self.circuits_destroyed)
+    }
+}
+
+/// Counters the measurement pipeline (Ting driver + scanner) maintains.
+#[derive(Debug, Default)]
+struct MeasurementInner {
+    circuits_failed: Cell<u64>,
+    probes_timed_out: Cell<u64>,
+    retries: Cell<u64>,
+    pairs_requeued: Cell<u64>,
+    /// Human-readable retry trace — one line per resilience event, in
+    /// order. Deterministic runs produce identical traces.
+    trace: RefCell<Vec<String>>,
+}
+
+/// A cheap, clonable handle to the measurement pipeline's counters.
+#[derive(Debug, Clone, Default)]
+pub struct MeasurementMetrics {
+    inner: Rc<MeasurementInner>,
+}
+
+/// A point-in-time copy of the measurement counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeasurementSnapshot {
+    /// Circuit builds that did not reach Ready (including rebuilds).
+    pub circuits_failed: u64,
+    /// Probes whose echo missed the per-probe deadline.
+    pub probes_timed_out: u64,
+    /// Measurement attempts retried after a failure.
+    pub retries: u64,
+    /// Scanner pairs put back on the queue under backoff.
+    pub pairs_requeued: u64,
+}
+
+impl MeasurementMetrics {
+    pub fn new() -> MeasurementMetrics {
+        MeasurementMetrics::default()
+    }
+
+    pub fn on_circuit_failed(&self) {
+        self.inner
+            .circuits_failed
+            .set(self.inner.circuits_failed.get() + 1);
+    }
+
+    pub fn on_probe_timed_out(&self) {
+        self.inner
+            .probes_timed_out
+            .set(self.inner.probes_timed_out.get() + 1);
+    }
+
+    pub fn on_retry(&self) {
+        self.inner.retries.set(self.inner.retries.get() + 1);
+    }
+
+    pub fn on_pair_requeued(&self) {
+        self.inner
+            .pairs_requeued
+            .set(self.inner.pairs_requeued.get() + 1);
+    }
+
+    /// Appends one line to the retry trace.
+    pub fn trace(&self, line: String) {
+        self.inner.trace.borrow_mut().push(line);
+    }
+
+    /// The retry trace so far.
+    pub fn trace_lines(&self) -> Vec<String> {
+        self.inner.trace.borrow().clone()
+    }
+
+    /// Reads all counters at once.
+    pub fn snapshot(&self) -> MeasurementSnapshot {
+        MeasurementSnapshot {
+            circuits_failed: self.inner.circuits_failed.get(),
+            probes_timed_out: self.inner.probes_timed_out.get(),
+            retries: self.inner.retries.get(),
+            pairs_requeued: self.inner.pairs_requeued.get(),
+        }
     }
 }

@@ -15,14 +15,16 @@
 //!   mix, Pareto bandwidth weights, rDNS names, and occasional
 //!   Tor-specific shaping.
 
+use crate::churn::ChurnConfig;
 use crate::control::Controller;
 use crate::directory::{Consensus, RelayDescriptor, RelayFlags};
 use crate::echo::EchoServer;
 use crate::metrics::RelayMetrics;
-use crate::relay::{Relay, RelayConfig};
+use crate::relay::{Relay, RelayConfig, RelayFaultProfile};
 use geo::{GeoPoint, HostnameGenerator, World};
 use netsim::{
-    AsId, AsProfile, NodeId, ProtocolPolicy, Simulator, TrafficClass, Underlay, UnderlayConfig,
+    AsId, AsProfile, FaultPlan, NodeId, ProtocolPolicy, SimTime, Simulator, TrafficClass, Underlay,
+    UnderlayConfig,
 };
 use onion_crypto::KeyPair;
 use rand::rngs::SmallRng;
@@ -32,6 +34,17 @@ use std::collections::HashMap;
 /// Draws from an exponential distribution with the given mean.
 fn sample_exp(rng: &mut SmallRng, mean: f64) -> f64 {
     -rng.gen_range(1e-12..1.0f64).ln() * mean
+}
+
+/// One uniform draw in `[0, 1)` from a SplitMix64-style keyed hash —
+/// the same generator family the fault plan uses, so churn decisions
+/// never consume the simulation RNG.
+fn keyed_u01(seed: u64, n: u64) -> f64 {
+    let mut h = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(n);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Which §4 scenario to construct.
@@ -53,6 +66,8 @@ pub struct TorNetworkBuilder {
     /// ICMP (vs shaping TCP/Tor).
     icmp_anomaly_frac: f64,
     underlay_config: UnderlayConfig,
+    fault_plan: FaultPlan,
+    relay_faults: RelayFaultProfile,
 }
 
 impl TorNetworkBuilder {
@@ -66,6 +81,8 @@ impl TorNetworkBuilder {
             neutral_frac: 0.65,
             icmp_anomaly_frac: 0.6,
             underlay_config: UnderlayConfig::default(),
+            fault_plan: FaultPlan::disabled(),
+            relay_faults: RelayFaultProfile::disabled(),
         }
     }
 
@@ -78,6 +95,8 @@ impl TorNetworkBuilder {
             neutral_frac: 0.70,
             icmp_anomaly_frac: 0.6,
             underlay_config: UnderlayConfig::default(),
+            fault_plan: FaultPlan::disabled(),
+            relay_faults: RelayFaultProfile::disabled(),
         }
     }
 
@@ -96,6 +115,23 @@ impl TorNetworkBuilder {
     /// Overrides underlay model constants.
     pub fn underlay_config(mut self, cfg: UnderlayConfig) -> TorNetworkBuilder {
         self.underlay_config = cfg;
+        self
+    }
+
+    /// Installs an underlay fault plan (link loss, delay spikes, stalls,
+    /// crash windows). Disabled by default.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> TorNetworkBuilder {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Gives every measurable relay a fault profile (EXTEND2 refusal,
+    /// overload cell shedding). Each relay derives its own draw seed
+    /// from the profile's, so fault streams are independent. The local
+    /// relays `w`/`z` stay fault-free — they are the measurement host's
+    /// own, as in the paper.
+    pub fn relay_faults(mut self, profile: RelayFaultProfile) -> TorNetworkBuilder {
+        self.relay_faults = profile;
         self
     }
 
@@ -266,6 +302,7 @@ impl TorNetworkBuilder {
 
         // ── Simulator + processes (same order as underlay nodes). ──
         let mut sim = Simulator::new(underlay, self.seed ^ 0xc0de);
+        sim.set_fault_plan(self.fault_plan);
         let (controller, proxy_process) =
             Controller::create(NodeId(proxy_idx as u32), identity_map);
         let proxy = sim.add_process(Box::new(proxy_process));
@@ -279,10 +316,14 @@ impl TorNetworkBuilder {
         ));
         let echo_server = sim.add_process(Box::new(EchoServer::new()));
         let mut relay_metrics = Vec::with_capacity(relay_keys.len());
-        for (key, config) in relay_keys.iter().zip(&relay_configs) {
+        for (i, (key, config)) in relay_keys.iter().zip(&relay_configs).enumerate() {
             let metrics = RelayMetrics::new();
             relay_metrics.push(metrics.clone());
-            sim.add_process(Box::new(Relay::new(*key, *config).with_metrics(metrics)));
+            sim.add_process(Box::new(
+                Relay::new(*key, *config)
+                    .with_metrics(metrics)
+                    .with_faults(self.relay_faults.for_relay(i as u64)),
+            ));
         }
         debug_assert_eq!(proxy.index(), proxy_idx);
         debug_assert_eq!(local_w.index(), w_idx);
@@ -376,6 +417,72 @@ impl TorNetwork {
         (0..samples)
             .map(|_| self.sim.ping_rtt_ms(a, b))
             .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Crashes a relay at the current sim time — until `until`, or
+    /// forever when `None`. The consensus keeps listing it as running
+    /// until the next [`TorNetwork::refresh_consensus`]; circuits
+    /// through it fail to build in the meantime.
+    pub fn crash_relay(&mut self, relay: NodeId, until: Option<SimTime>) {
+        let now = self.sim.now();
+        self.sim.fault_plan_mut().add_crash(relay, now, until);
+    }
+
+    /// Reboots a crashed relay: events reach it again immediately. The
+    /// consensus keeps listing it as down until the next refresh.
+    pub fn revive_relay(&mut self, relay: NodeId) {
+        self.sim.fault_plan_mut().clear_crashes(relay);
+    }
+
+    /// Whether the relay is actually reachable right now (ground truth,
+    /// as opposed to what the possibly-stale consensus claims).
+    pub fn relay_up(&self, relay: NodeId) -> bool {
+        !self.sim.fault_plan().node_down(relay, self.sim.now())
+    }
+
+    /// Applies `interval_hours` of relay churn: each currently-up relay
+    /// departs with probability `daily_departure_rate · interval/24h`
+    /// (the Fig. 18 population model), crashing at the current sim time.
+    /// Departure draws come from a keyed hash over `(seed, relay
+    /// index)`, never the simulation RNG. Returns the departed relays.
+    ///
+    /// The consensus does **not** see departures until the next
+    /// [`TorNetwork::refresh_consensus`] — the directory-staleness
+    /// window during which a scanner keeps picking dead relays and its
+    /// circuit builds time out.
+    pub fn churn_step(
+        &mut self,
+        churn: &ChurnConfig,
+        interval_hours: f64,
+        seed: u64,
+    ) -> Vec<NodeId> {
+        let p = (churn.daily_departure_rate * interval_hours / 24.0).clamp(0.0, 1.0);
+        let now = self.sim.now();
+        let departed: Vec<NodeId> = self
+            .relays
+            .iter()
+            .enumerate()
+            .filter(|(i, &node)| {
+                !self.sim.fault_plan().node_down(node, now) && keyed_u01(seed, *i as u64) < p
+            })
+            .map(|(_, &node)| node)
+            .collect();
+        for &node in &departed {
+            self.sim.fault_plan_mut().add_crash(node, now, None);
+        }
+        departed
+    }
+
+    /// Publishes a fresh consensus: every relay's Running flag is synced
+    /// to its actual state. Between calls the directory is stale,
+    /// exactly like the hourly consensus of the real network.
+    pub fn refresh_consensus(&mut self) {
+        let now = self.sim.now();
+        for i in 0..self.relays.len() {
+            let node = self.relays[i];
+            let up = !self.sim.fault_plan().node_down(node, now);
+            self.consensus.set_running(node, up);
+        }
     }
 }
 
@@ -528,6 +635,104 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn disabled_fault_profile_is_bit_identical() {
+        let run = |faulty: bool| {
+            let mut b = TorNetworkBuilder::testbed(99);
+            if faulty {
+                b = b
+                    .fault_plan(FaultPlan::new(1)) // all rates zero
+                    .relay_faults(RelayFaultProfile {
+                        seed: 7,
+                        ..RelayFaultProfile::disabled()
+                    });
+            }
+            let mut net = b.build();
+            let (x, y) = (net.relays[1], net.relays[2]);
+            let c = net
+                .controller
+                .build_and_wait(&mut net.sim, vec![net.local_w, x, y, net.local_z])
+                .unwrap();
+            let s = net
+                .controller
+                .open_stream_and_wait(&mut net.sim, c, net.echo_server)
+                .unwrap();
+            net.controller
+                .echo_roundtrip_ms(&mut net.sim, s, vec![1])
+                .unwrap()
+        };
+        assert_eq!(run(false).to_bits(), run(true).to_bits());
+    }
+
+    #[test]
+    fn extend_refusal_fails_circuit_and_counts() {
+        let mut net = TorNetworkBuilder::testbed(50)
+            .relay_faults(RelayFaultProfile {
+                extend_refuse_prob: 1.0,
+                seed: 3,
+                ..RelayFaultProfile::disabled()
+            })
+            .build();
+        let (x, y) = (net.relays[4], net.relays[8]);
+        // w → x extends fine (w is fault-free), but x refuses to extend
+        // to y, so the 4-hop circuit must fail.
+        let built = net
+            .controller
+            .build_and_wait(&mut net.sim, vec![net.local_w, x, y, net.local_z]);
+        assert!(built.is_none(), "circuit built through refusing relay");
+        assert!(net.relay_metrics[4].snapshot().extends_refused >= 1);
+    }
+
+    #[test]
+    fn crashed_relay_fails_circuits_until_revived() {
+        let mut net = TorNetworkBuilder::testbed(51).build();
+        let (x, y) = (net.relays[6], net.relays[12]);
+        net.crash_relay(x, None);
+        assert!(!net.relay_up(x));
+        // Stale consensus still claims the relay runs.
+        assert!(net.consensus.descriptor(x).unwrap().flags.running);
+        assert!(net
+            .controller
+            .build_and_wait(&mut net.sim, vec![net.local_w, x, y, net.local_z])
+            .is_none());
+
+        net.refresh_consensus();
+        assert!(!net.consensus.descriptor(x).unwrap().flags.running);
+        assert!(net.consensus.descriptor(y).unwrap().flags.running);
+
+        net.revive_relay(x);
+        assert!(net.relay_up(x));
+        net.refresh_consensus();
+        assert!(net.consensus.descriptor(x).unwrap().flags.running);
+        assert!(net
+            .controller
+            .build_and_wait(&mut net.sim, vec![net.local_w, x, y, net.local_z])
+            .is_some());
+    }
+
+    #[test]
+    fn churn_departures_are_deterministic_and_lag_consensus() {
+        let run = || {
+            let mut net = TorNetworkBuilder::testbed(52).build();
+            // A huge interval so some relays certainly depart.
+            net.churn_step(&ChurnConfig::default(), 24.0 * 20.0, 77)
+        };
+        let departed = run();
+        assert_eq!(departed, run());
+        assert!(!departed.is_empty(), "no churn in 20 simulated days");
+
+        let mut net = TorNetworkBuilder::testbed(52).build();
+        let gone = net.churn_step(&ChurnConfig::default(), 24.0 * 20.0, 77);
+        // Consensus is stale until refreshed.
+        assert!(net.consensus.descriptor(gone[0]).unwrap().flags.running);
+        net.refresh_consensus();
+        for &node in &gone {
+            assert!(!net.consensus.descriptor(node).unwrap().flags.running);
+        }
+        let up = net.consensus.relays().iter().filter(|r| r.flags.running);
+        assert_eq!(up.count(), net.relays.len() - gone.len());
     }
 
     #[test]

@@ -57,6 +57,51 @@ impl Default for RelayConfig {
     }
 }
 
+/// Relay-level fault injection: misbehaviour of the onion router itself,
+/// as opposed to the underlay faults in [`netsim::FaultPlan`].
+///
+/// Fault decisions come from a keyed hash over `(seed, draw counter)`
+/// private to each relay — never from the simulation RNG — so enabling
+/// faults on one relay does not perturb random draws anywhere else, and
+/// a profile with all rates zero is a strict no-op (no draws happen).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RelayFaultProfile {
+    /// Probability an EXTEND2 request is refused (circuit torn down with
+    /// DESTROY back to the client, as a loaded or misconfigured relay
+    /// would).
+    pub extend_refuse_prob: f64,
+    /// Probability a cell is shed instead of queued once the processing
+    /// queue is at least [`RelayFaultProfile::overload_queue_depth`]
+    /// deep.
+    pub overload_drop_prob: f64,
+    /// Queue depth at which overload shedding kicks in.
+    pub overload_queue_depth: usize,
+    /// Seed for this relay's private fault-draw stream.
+    pub seed: u64,
+}
+
+impl RelayFaultProfile {
+    /// A profile that injects nothing.
+    pub fn disabled() -> RelayFaultProfile {
+        RelayFaultProfile::default()
+    }
+
+    /// True when the profile can inject anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.extend_refuse_prob > 0.0 || self.overload_drop_prob > 0.0
+    }
+
+    /// Derives a per-relay copy with its own seed, so relays sharing one
+    /// profile still draw independent fault streams.
+    pub fn for_relay(mut self, index: u64) -> RelayFaultProfile {
+        self.seed = self
+            .seed
+            .wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            | 1;
+        self
+    }
+}
+
 /// Keys a circuit hop uniquely at this relay: the client-side link
 /// connection and circuit id.
 type HopKey = (ConnId, CircuitId);
@@ -108,6 +153,9 @@ pub struct Relay {
     busy_until_ns: u64,
     queue: VecDeque<PendingCell>,
     metrics: RelayMetrics,
+    faults: RelayFaultProfile,
+    /// Monotone counter for the private fault-draw stream.
+    fault_draws: u64,
 }
 
 impl Relay {
@@ -127,6 +175,8 @@ impl Relay {
             busy_until_ns: 0,
             queue: VecDeque::new(),
             metrics: RelayMetrics::new(),
+            faults: RelayFaultProfile::disabled(),
+            fault_draws: 0,
         }
     }
 
@@ -134,6 +184,28 @@ impl Relay {
     pub fn with_metrics(mut self, metrics: RelayMetrics) -> Relay {
         self.metrics = metrics;
         self
+    }
+
+    /// Attaches a fault profile (disabled by default).
+    pub fn with_faults(mut self, faults: RelayFaultProfile) -> Relay {
+        self.faults = faults;
+        self
+    }
+
+    /// One uniform draw in `[0, 1)` from this relay's private
+    /// fault-injection stream. Call only when faults are enabled.
+    fn fault_draw_u01(&mut self) -> f64 {
+        let n = self.fault_draws;
+        self.fault_draws += 1;
+        let mut h = self
+            .faults
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(n);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        (h >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// This relay's metrics handle.
@@ -147,6 +219,15 @@ impl Relay {
 
     /// Samples this cell's processing cost and returns its ready time.
     fn enqueue_cell(&mut self, ctx: &mut Context, conn: ConnId, cell: Cell) {
+        if self.faults.is_enabled()
+            && self.faults.overload_drop_prob > 0.0
+            && self.queue.len() >= self.faults.overload_queue_depth
+            && self.fault_draw_u01() < self.faults.overload_drop_prob
+        {
+            // Overloaded: shed the cell instead of queueing it.
+            self.metrics.on_cell_dropped();
+            return;
+        }
         let cost_ms = self.config.base_proc_ms
             + if ctx.rng.gen_bool(self.config.busy_prob) {
                 -ctx.rng.gen_range(1e-12..1.0f64).ln() * self.config.busy_mean_ms
@@ -296,6 +377,16 @@ impl Relay {
     fn handle_recognized(&mut self, ctx: &mut Context, key: HopKey, rc: RelayCell) {
         match rc.cmd {
             RelayCmd::Extend2 => {
+                if self.faults.is_enabled()
+                    && self.faults.extend_refuse_prob > 0.0
+                    && self.fault_draw_u01() < self.faults.extend_refuse_prob
+                {
+                    // Refuse to extend: tear down so the client sees a
+                    // DESTROY and can rebuild through the same pair.
+                    self.metrics.on_extend_refused();
+                    self.teardown(ctx, key, true);
+                    return;
+                }
                 let Some(ext) = Extend2::decode(&rc.data) else {
                     self.teardown(ctx, key, true);
                     return;
@@ -499,6 +590,48 @@ impl Process for Relay {
                     Cell::new(prev_circ, CellCommand::Relay, payload),
                 );
             }
+            return;
+        }
+        // A peer link died (e.g. a blackholed connect to a crashed
+        // relay timed out): forget the cached link so future extends
+        // reopen it, and fail everything that was riding on it.
+        if let Some(peer) = self.conn_peer.remove(&conn) {
+            if self.links.get(&peer) == Some(&conn) {
+                self.links.remove(&peer);
+            }
+        }
+        self.conn_ready.remove(&conn);
+        self.pending_link.remove(&conn);
+        // CREATE2s awaiting a reply on this link: DESTROY to clients.
+        let dead_creates: Vec<(HopKey, HopKey)> = self
+            .pending_create
+            .iter()
+            .filter(|((c, _), _)| *c == conn)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        for (key, prev_key) in dead_creates {
+            self.pending_create.remove(&key);
+            self.teardown(ctx, prev_key, true);
+        }
+        // Established circuits whose next hop used this link.
+        let dead_next: Vec<HopKey> = self
+            .next_index
+            .iter()
+            .filter(|((c, _), _)| *c == conn)
+            .map(|(_, &prev)| prev)
+            .collect();
+        for prev_key in dead_next {
+            self.teardown(ctx, prev_key, true);
+        }
+        // Circuits whose client side was this link: tear toward exit.
+        let dead_prev: Vec<HopKey> = self
+            .circuits
+            .keys()
+            .filter(|(c, _)| *c == conn)
+            .copied()
+            .collect();
+        for key in dead_prev {
+            self.teardown(ctx, key, false);
         }
     }
 }

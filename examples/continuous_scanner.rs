@@ -7,12 +7,17 @@
 //!
 //! Run with: `cargo run --release --example continuous_scanner`
 
-use netsim::{SimDuration, SimTime};
+use netsim::{FaultPlan, SimDuration, SimTime};
 use ting::{Scanner, ScannerConfig, Ting, TingConfig};
 use tor_sim::TorNetworkBuilder;
 
 fn main() {
-    let mut net = TorNetworkBuilder::live(808, 60).build();
+    // A little link loss makes the resilience layer visibly earn its
+    // keep: some probes time out and some pairs are retried, yet the
+    // cache still converges.
+    let mut net = TorNetworkBuilder::live(808, 60)
+        .fault_plan(FaultPlan::new(9).with_link_loss(0.002))
+        .build();
     let nodes: Vec<_> = net.relays.iter().copied().take(16).collect();
     let pairs = nodes.len() * (nodes.len() - 1) / 2;
 
@@ -21,6 +26,7 @@ fn main() {
         ScannerConfig {
             staleness: SimDuration::from_hours(24),
             pairs_per_round: 20,
+            ..ScannerConfig::default()
         },
     );
     let ting = Ting::new(TingConfig::fast());
@@ -55,4 +61,10 @@ fn main() {
     );
     println!("(the paper's §4.6 point: infrequent measurement + caching suffices,");
     println!(" because estimates are stable over at least a week)");
+
+    let m = ting.metrics.snapshot();
+    println!(
+        "\nresilience counters: circuits_failed={} probes_timed_out={} retries={} pairs_requeued={}",
+        m.circuits_failed, m.probes_timed_out, m.retries, m.pairs_requeued
+    );
 }

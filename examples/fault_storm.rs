@@ -1,0 +1,105 @@
+//! Fault storm: hammer the resilient pipeline at escalating fault rates.
+//!
+//! Builds a 24-relay live network and measures the same pair set at
+//! several fault intensities — link loss, jitter spikes, stream stalls,
+//! EXTEND refusals and overload cell-dropping all scale together. At
+//! each rate the run reports the pair success ratio, the estimator's
+//! error against the fault-free underlay ground truth, and the
+//! resilience counters (failed circuits, timed-out probes, retries).
+//!
+//! The point: at rate 0 the pipeline is a strict no-op (success 1.00,
+//! tiny error), and as faults ramp the per-phase timeouts + bounded
+//! retry keep the run terminating — degraded, never wedged.
+//!
+//! Run with: `cargo run --release --example fault_storm`
+
+use netsim::FaultPlan;
+use ting::{Ting, TingConfig};
+use tor_sim::{MeasurementSnapshot, RelayFaultProfile, TorNetworkBuilder};
+
+struct StormReport {
+    pairs: usize,
+    succeeded: usize,
+    median_rel_err: f64,
+    counters: MeasurementSnapshot,
+}
+
+fn storm(rate: f64, seed: u64, pairs_limit: usize) -> StormReport {
+    let mut net = TorNetworkBuilder::live(seed, 24)
+        .fault_plan(
+            FaultPlan::new(seed ^ 0xFA)
+                .with_link_loss(rate)
+                .with_jitter_spikes(rate, 40.0)
+                .with_stalls(rate * 0.5, 400.0),
+        )
+        .relay_faults(RelayFaultProfile {
+            extend_refuse_prob: rate * 0.5,
+            overload_drop_prob: rate,
+            overload_queue_depth: 32,
+            seed: seed ^ 0x51,
+        })
+        .build();
+    let nodes: Vec<_> = net.relays.iter().copied().take(20).collect();
+
+    // One lost cell desyncs a circuit's onion crypto, so every probe
+    // after it is dead weight: give up after a few lost probes and
+    // spend the budget on fresh attempts instead.
+    let ting = Ting::new(TingConfig {
+        max_lost_probes: 4,
+        max_attempts: 5,
+        ..TingConfig::fast()
+    });
+    let mut succeeded = 0;
+    let mut rel_errs = Vec::new();
+    let mut pairs = 0;
+    'outer: for i in 0..nodes.len() {
+        for j in (i + 1)..nodes.len() {
+            if pairs == pairs_limit {
+                break 'outer;
+            }
+            pairs += 1;
+            let (x, y) = (nodes[i], nodes[j]);
+            let truth = net.true_rtt_ms(x, y);
+            if let Ok(m) = ting.measure_pair(&mut net, x, y) {
+                succeeded += 1;
+                rel_errs.push((m.estimate_ms() - truth).abs() / truth);
+            }
+        }
+    }
+    rel_errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    StormReport {
+        pairs,
+        succeeded,
+        median_rel_err: rel_errs.get(rel_errs.len() / 2).copied().unwrap_or(f64::NAN),
+        counters: ting.metrics.snapshot(),
+    }
+}
+
+fn main() {
+    // A probe crosses each faulty link dozens of times per measurement,
+    // so per-message rates in the per-mille range already translate to
+    // double-digit per-attempt failure odds.
+    let rates = [0.0, 0.002, 0.005, 0.01, 0.02];
+    println!("fault storm: 20 of 24 relays, 40 pairs per rate\n");
+    println!(
+        "{:>6} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "rate", "success", "med_err%", "circ_fail", "probe_to", "retries", "ok/total"
+    );
+    for (i, &rate) in rates.iter().enumerate() {
+        let r = storm(rate, 0x57F0 + i as u64, 40);
+        let c = r.counters;
+        println!(
+            "{:>6.3} {:>8.2} {:>8.2}% {:>9} {:>8} {:>8} {:>5}/{}",
+            rate,
+            r.succeeded as f64 / r.pairs as f64,
+            r.median_rel_err * 100.0,
+            c.circuits_failed,
+            c.probes_timed_out,
+            c.retries,
+            r.succeeded,
+            r.pairs
+        );
+    }
+    println!("\n(rate 0 is the control: the fault layer disabled is a strict no-op,");
+    println!(" so success is 1.00 and the error matches a fault-free run exactly)");
+}

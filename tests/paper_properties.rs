@@ -75,7 +75,7 @@ fn deanonymization_ordering() {
     let matrix = ting::RttMatrix::measure(&mut net, nodes, &ting, |_, _| {}).unwrap();
     let sim = analysis::DeanonSimulator::new(&matrix);
     use rand::SeedableRng;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+    let rng = rand::rngs::SmallRng::seed_from_u64(9);
     let med = |s| {
         let o = sim.run_many(s, 300, &mut rng.clone());
         let f: Vec<f64> = o.iter().map(|x| x.fraction_probed()).collect();

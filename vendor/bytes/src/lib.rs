@@ -1,0 +1,103 @@
+//! Offline, API-compatible subset of the `bytes` crate: the `Buf` /
+//! `BufMut` methods the wire-format code uses, implemented for `&[u8]`
+//! and `Vec<u8>`. Network byte order (big-endian), like the real crate.
+
+/// Sequential big-endian reader over a byte source.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Sequential big-endian writer into a growable sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u32(0xdead_beef);
+        buf.put_u8(7);
+        buf.put_u16(513);
+        buf.put_slice(&[1, 2, 3]);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 10);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 513);
+        let mut rest = [0u8; 3];
+        r.copy_to_slice(&mut rest);
+        assert_eq!(rest, [1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1];
+        let _ = r.get_u32();
+    }
+}

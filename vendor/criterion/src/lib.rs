@@ -1,0 +1,193 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Benches compile and run against this stub without the real
+//! dependency: each `bench_function` runs the routine a handful of
+//! times, measures wall-clock duration with `std::time::Instant`, and
+//! prints a single mean-per-iteration line. No statistics, warm-up
+//! phases, or HTML reports.
+
+use std::time::Instant;
+
+/// Iterations per measurement; small so bench binaries finish quickly.
+const DEFAULT_ITERS: u32 = 10;
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Bencher {
+    iters: u32,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    fn new(iters: u32) -> Self {
+        Bencher {
+            iters,
+            elapsed_ns: 0.0,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total_ns = 0.0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos() as f64;
+        }
+        self.elapsed_ns = total_ns / self.iters as f64;
+    }
+}
+
+fn report(id: &str, elapsed_ns: f64, throughput: Option<Throughput>) {
+    let human = if elapsed_ns >= 1.0e9 {
+        format!("{:.3} s", elapsed_ns / 1.0e9)
+    } else if elapsed_ns >= 1.0e6 {
+        format!("{:.3} ms", elapsed_ns / 1.0e6)
+    } else if elapsed_ns >= 1.0e3 {
+        format!("{:.3} us", elapsed_ns / 1.0e3)
+    } else {
+        format!("{elapsed_ns:.0} ns")
+    };
+    match throughput {
+        Some(Throughput::Bytes(n)) if elapsed_ns > 0.0 => {
+            let mbps = n as f64 / (elapsed_ns / 1.0e9) / 1.0e6;
+            println!("{id:<40} {human:>12}/iter  {mbps:.1} MB/s");
+        }
+        Some(Throughput::Elements(n)) if elapsed_ns > 0.0 => {
+            let eps = n as f64 / (elapsed_ns / 1.0e9);
+            println!("{id:<40} {human:>12}/iter  {eps:.0} elem/s");
+        }
+        _ => println!("{id:<40} {human:>12}/iter"),
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    iters: Option<u32>,
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = Some((n as u32).max(1));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.iters.unwrap_or(DEFAULT_ITERS));
+        f(&mut b);
+        report(id.as_ref(), b.elapsed_ns, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: self.iters.unwrap_or(DEFAULT_ITERS),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    iters: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u32).max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.iters);
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id.as_ref());
+        report(&full, b.elapsed_ns, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a single runner named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point invoking each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("stub/iter", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_and_bench_run() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

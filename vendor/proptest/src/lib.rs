@@ -1,0 +1,431 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Implements the pieces the test-suite uses: the `proptest!` macro,
+//! `Strategy` (ranges, tuples, `any`, `prop::collection::vec`,
+//! `prop_map`, simple regex string strategies), the assertion macros,
+//! and `ProptestConfig::with_cases`. Sampling is deterministic (seeded
+//! per test name + case index) and there is no shrinking: a failing
+//! case panics with the assertion message directly.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleRange, SeedableRng, Standard};
+
+/// Per-invocation configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Why a single test case did not complete normally.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    core::ops::Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    core::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident / $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / a, B / b);
+tuple_strategy!(A / a, B / b, C / c);
+tuple_strategy!(A / a, B / b, C / c, D / d);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+
+/// Types with a canonical "any value" strategy (via `rand::Standard`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl<T: Standard> Arbitrary for T {
+    fn arbitrary(rng: &mut SmallRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String strategies from a small regex subset: literal characters,
+/// `[a-z0-9.-]` character classes, and `{lo,hi}` / `{n}` repetitions.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut SmallRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut SmallRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<char> = if chars[i] == '[' {
+            let mut set = Vec::new();
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    set.extend(lo..=hi);
+                    i += 3;
+                } else {
+                    set.push(chars[i]);
+                    i += 1;
+                }
+            }
+            i += 1; // closing ']'
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repetition")
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().expect("bad repetition"),
+                    b.trim().parse::<usize>().expect("bad repetition"),
+                ),
+                None => {
+                    let n = spec.trim().parse::<usize>().expect("bad repetition");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+        for _ in 0..count {
+            if choices.is_empty() {
+                continue;
+            }
+            out.push(choices[rng.gen_range(0..choices.len())]);
+        }
+    }
+    out
+}
+
+pub mod collection {
+    use super::{SampleRange, SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for vectors with element strategy and length range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        core::ops::Range<usize>: SampleRange<usize>,
+    {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = if self.len.end > self.len.start {
+                rng.gen_range(self.len.clone())
+            } else {
+                self.len.start
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(...)` works.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, Any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[doc(hidden)]
+pub fn __fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn __case_rng(name_hash: u64, case: u64) -> SmallRng {
+    SmallRng::seed_from_u64(name_hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a test that runs the body over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( cfg = ($cfg:expr);
+      $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __name_hash = $crate::__fnv(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases as u64 {
+                    let mut __rng = $crate::__case_rng(__name_hash, __case);
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )+
+                    let __outcome: $crate::TestCaseResult = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    // Rejected cases (prop_assume!) are simply skipped.
+                    let _ = __outcome;
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            panic!("proptest assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(__l == __r) {
+            panic!(
+                "proptest assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), __l, __r
+            );
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(__l == __r) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if __l == __r {
+            panic!(
+                "proptest assertion failed: {} != {}\n  both: {:?}",
+                stringify!($lhs), stringify!($rhs), __l
+            );
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if __l == __r {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(-10.0..10.0f64, 1..8)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in -1.0..1.0f64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(xs in small_vec()) {
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            for x in &xs {
+                prop_assert!((-10.0..10.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn tuples_and_map(p in (0u32..4, 0u32..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p <= 6);
+        }
+
+        #[test]
+        fn regex_subset_generates_matching(s in "[a-z0-9.-]{0,64}") {
+            prop_assert!(s.len() <= 64);
+            prop_assert!(s.chars().all(|c| {
+                c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-'
+            }));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = crate::__case_rng(crate::__fnv("x"), 3);
+        let mut b = crate::__case_rng(crate::__fnv("x"), 3);
+        let s = (0u8..255).sample(&mut a);
+        let t = (0u8..255).sample(&mut b);
+        assert_eq!(s, t);
+    }
+}
