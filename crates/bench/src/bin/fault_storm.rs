@@ -21,7 +21,9 @@ fn main() {
     let rates = [0.0, 0.002, 0.005, 0.01, 0.02];
 
     println!("# fault storm: {relays} relays, {pairs_limit} pairs/rate, {samples} samples");
-    println!("# rate\tsuccess\tmed_rel_err\tp90_rel_err\tcircuits_failed\tprobes_timed_out\tretries");
+    println!(
+        "# rate\tsuccess\tmed_rel_err\tp90_rel_err\tcircuits_failed\tprobes_timed_out\tretries"
+    );
     for (i, &rate) in rates.iter().enumerate() {
         let storm_seed = seed() ^ (0xFA00 + i as u64);
         let mut net = TorNetworkBuilder::live(storm_seed, relays)

@@ -32,13 +32,19 @@
 //!   (kept so experiments can show *why* it fails);
 //! * [`forwarding`] — the §4.3 forwarding-delay measurement procedure;
 //! * [`matrix`] — all-pairs RTT matrices with caching and TSV
-//!   import/export, the substrate of every §5 application.
+//!   import/export, the substrate of every §5 application;
+//! * [`queue`] — the scanner's incrementally maintained work queue
+//!   (replaces the per-round O(n²) priority sweeps);
+//! * [`parallel`] — the §6 scaling step: K vantage pairs measuring
+//!   concurrently in virtual time over the shared event loop.
 
 pub mod estimator;
 pub mod forwarding;
 pub mod king;
 pub mod matrix;
 pub mod orchestrator;
+pub mod parallel;
+pub mod queue;
 pub mod report;
 pub mod sampling;
 pub mod scanner;
@@ -49,6 +55,8 @@ pub use forwarding::{measure_forwarding_delay, ForwardingDelayMeasurement, Probe
 pub use king::{king_measure, KingConfig, KingOutcome};
 pub use matrix::RttMatrix;
 pub use orchestrator::{Ting, TingConfig, TingError};
+pub use parallel::{measure_interleaved, PairOutcome};
+pub use queue::WorkQueue;
 pub use report::{CampaignReport, QualityFlag};
 pub use sampling::SamplePolicy;
 pub use scanner::{Scanner, ScannerConfig};

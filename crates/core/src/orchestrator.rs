@@ -187,7 +187,7 @@ impl Ting {
     /// exponential in the attempt, jittered by a keyed hash of the path
     /// so concurrent deployments desynchronize — but never drawn from
     /// the simulation RNG, keeping retries replayable.
-    fn backoff_ms(&self, path: &[NodeId], attempt: u32) -> f64 {
+    pub(crate) fn backoff_ms(&self, path: &[NodeId], attempt: u32) -> f64 {
         let base = self.config.retry_backoff_ms * 2f64.powi(attempt as i32 - 1);
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for n in path {
@@ -289,19 +289,19 @@ impl Ting {
             let payload = self.probe_payload(probe_idx);
             probe_idx += 1;
             let probe_deadline = Self::deadline(net, self.config.probe_timeout_ms);
-            match net
-                .controller
-                .echo_roundtrip_ms_until(&mut net.sim, stream, payload, probe_deadline)
-            {
+            match net.controller.echo_roundtrip_ms_until(
+                &mut net.sim,
+                stream,
+                payload,
+                probe_deadline,
+            ) {
                 Some(rtt) => samples.push(rtt),
                 None => {
                     lost += 1;
                     self.metrics.on_probe_timed_out();
                     if lost > self.config.max_lost_probes {
-                        self.metrics.trace(format!(
-                            "probes_lost circuit={} lost={lost}",
-                            circuit.0
-                        ));
+                        self.metrics
+                            .trace(format!("probes_lost circuit={} lost={lost}", circuit.0));
                         net.controller.close_stream(&mut net.sim, stream);
                         net.controller.close_circuit(&mut net.sim, circuit);
                         return Err(TingError::ProbeLost);
@@ -319,7 +319,7 @@ impl Ting {
     /// The probe payload: `payload_len` bytes carrying the probe index
     /// (little-endian, truncated) so echoes are matchable to their
     /// probe. Same length for every probe — identical timing.
-    fn probe_payload(&self, probe_idx: u64) -> Vec<u8> {
+    pub(crate) fn probe_payload(&self, probe_idx: u64) -> Vec<u8> {
         let mut payload = vec![0xA5u8; self.config.payload_len];
         for (slot, byte) in payload.iter_mut().zip(probe_idx.to_le_bytes()) {
             *slot = byte;

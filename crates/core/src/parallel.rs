@@ -1,0 +1,468 @@
+//! Interleaved multi-vantage measurement.
+//!
+//! §6 of the paper sizes all-pairs coverage of the live network by
+//! assuming "multiple instances of Ting can run in parallel" from
+//! several vantage pairs. This module reproduces that scaling step in
+//! the simulator: each vantage `i` (its own proxy, local relay pair
+//! `(w_i, z_i)`, and echo server — see
+//! [`tor_sim::TorNetworkBuilder::vantages`]) owns one in-flight
+//! measurement at a time, and a cooperative driver multiplexes all of
+//! them over the single `netsim` event loop so K pairs are measured
+//! concurrently *in virtual time*.
+//!
+//! The sequential [`crate::orchestrator::Ting::measure_pair`] blocks on
+//! `run_until_idle`, which cannot overlap two measurements. Here each
+//! measurement is a poll-driven state machine ([`PairTask`]) that
+//! issues controller commands without draining the queue; the driver
+//! ([`measure_interleaved`]) peeks the next event time
+//! ([`netsim::Simulator::next_event_at`]), compares it with every
+//! task's earliest wake-up deadline, and advances whichever comes
+//! first. The event stream — and therefore every estimate — remains a
+//! deterministic function of `(seed, K, assignment order)`.
+
+use crate::estimator::{CircuitSamples, TingMeasurement};
+use crate::orchestrator::{Ting, TingError};
+use netsim::{NodeId, SimDuration, SimTime, Simulator};
+use std::collections::VecDeque;
+use tor_sim::{CircuitHandle, CircuitStatus, Controller, StreamHandle, StreamStatus, TorNetwork};
+
+/// The completion record of one interleaved pair measurement.
+#[derive(Debug)]
+pub struct PairOutcome {
+    pub x: NodeId,
+    pub y: NodeId,
+    /// Vantage index that measured the pair.
+    pub vantage: usize,
+    /// Virtual instant the measurement finished (success or failure).
+    pub completed_at: SimTime,
+    pub result: Result<TingMeasurement, TingError>,
+}
+
+/// Where one in-flight measurement currently is.
+enum TaskState {
+    /// About to build the current phase's circuit.
+    StartPhase,
+    /// Waiting for the circuit build to settle.
+    Building {
+        circuit: CircuitHandle,
+        deadline: Option<SimTime>,
+    },
+    /// Waiting for the echo stream to connect.
+    Opening {
+        circuit: CircuitHandle,
+        stream: StreamHandle,
+        deadline: Option<SimTime>,
+    },
+    /// Waiting out the inter-probe spacing.
+    Spacing {
+        circuit: CircuitHandle,
+        stream: StreamHandle,
+        resume_at: SimTime,
+    },
+    /// A probe is in flight.
+    AwaitEcho {
+        circuit: CircuitHandle,
+        stream: StreamHandle,
+        expect: Vec<u8>,
+        sent_at: SimTime,
+        deadline: Option<SimTime>,
+    },
+    /// Waiting out the retry backoff before rebuilding the circuit.
+    Backoff { resume_at: SimTime },
+    /// Finished; the result has been recorded.
+    Done,
+}
+
+/// A poll-driven measurement of one pair through one vantage: the same
+/// three-circuit, retry-under-backoff procedure as
+/// [`Ting::measure_pair`], restructured so it never drains the event
+/// queue itself and can therefore interleave with other tasks.
+struct PairTask {
+    x: NodeId,
+    y: NodeId,
+    w: NodeId,
+    z: NodeId,
+    echo: NodeId,
+    started: SimTime,
+    /// 0 = `C_xy`, 1 = `C_x`, 2 = `C_y`.
+    phase: usize,
+    /// 1-based attempt counter for the current phase.
+    attempt: u32,
+    samples: Vec<f64>,
+    lost: u32,
+    probe_idx: u64,
+    phase_samples: Vec<CircuitSamples>,
+    state: TaskState,
+    result: Option<Result<TingMeasurement, TingError>>,
+}
+
+impl PairTask {
+    fn new(x: NodeId, y: NodeId, w: NodeId, z: NodeId, echo: NodeId, now: SimTime) -> PairTask {
+        PairTask {
+            x,
+            y,
+            w,
+            z,
+            echo,
+            started: now,
+            phase: 0,
+            attempt: 1,
+            samples: Vec::new(),
+            lost: 0,
+            probe_idx: 0,
+            phase_samples: Vec::new(),
+            state: TaskState::StartPhase,
+            result: None,
+        }
+    }
+
+    /// The relay path of the current phase.
+    fn phase_path(&self) -> Vec<NodeId> {
+        match self.phase {
+            0 => vec![self.w, self.x, self.y, self.z],
+            1 => vec![self.w, self.x],
+            _ => vec![self.w, self.y],
+        }
+    }
+
+    fn deadline(sim: &Simulator, timeout_ms: Option<f64>) -> Option<SimTime> {
+        timeout_ms.map(|ms| sim.now() + SimDuration::from_millis_f64(ms))
+    }
+
+    fn past(sim: &Simulator, deadline: Option<SimTime>) -> bool {
+        deadline.is_some_and(|d| sim.now() >= d)
+    }
+
+    /// Handles a failed circuit attempt: retry under the same jittered
+    /// exponential backoff as the sequential pipeline, or conclude the
+    /// measurement once attempts are exhausted (or the failure is
+    /// permanent).
+    fn fail_attempt(&mut self, sim: &Simulator, ting: &Ting, err: TingError) {
+        let max_attempts = ting.config.max_attempts.max(1);
+        if !err.is_retryable() || self.attempt >= max_attempts {
+            self.result = Some(Err(err));
+            self.state = TaskState::Done;
+            return;
+        }
+        let path = self.phase_path();
+        let pause_ms = ting.backoff_ms(&path, self.attempt);
+        self.attempt += 1;
+        ting.metrics.on_retry();
+        ting.metrics.trace(format!(
+            "retry attempt={} path={:?} backoff_ms={pause_ms:.1}",
+            self.attempt,
+            path.iter().map(|n| n.0).collect::<Vec<_>>()
+        ));
+        self.state = TaskState::Backoff {
+            resume_at: sim.now() + SimDuration::from_millis_f64(pause_ms),
+        };
+    }
+
+    /// Sends the next probe on the open stream.
+    fn send_probe(
+        &mut self,
+        sim: &mut Simulator,
+        ctl: &mut Controller,
+        ting: &Ting,
+        circuit: CircuitHandle,
+        stream: StreamHandle,
+    ) {
+        let payload = ting.probe_payload(self.probe_idx);
+        self.probe_idx += 1;
+        let sent_at = sim.now();
+        let deadline = Self::deadline(sim, ting.config.probe_timeout_ms);
+        ctl.send(sim, stream, payload.clone());
+        self.state = TaskState::AwaitEcho {
+            circuit,
+            stream,
+            expect: payload,
+            sent_at,
+            deadline,
+        };
+    }
+
+    /// Advances the state machine as far as it can go at the current
+    /// instant. Returns the earliest virtual time this task needs to be
+    /// woken at (`None` = it is waiting purely on network events).
+    ///
+    /// `idle` tells the task the global event queue has drained with no
+    /// other task holding a wake-up — the interleaved equivalent of
+    /// `run_until_idle` returning in the sequential pipeline, at which
+    /// point an unmet condition (circuit not ready, echo not arrived)
+    /// can never be met and must be treated as a failure/timeout.
+    fn poll(
+        &mut self,
+        sim: &mut Simulator,
+        ctl: &mut Controller,
+        ting: &Ting,
+        mut idle: bool,
+    ) -> Option<SimTime> {
+        loop {
+            match self.state {
+                TaskState::StartPhase => {
+                    self.samples.clear();
+                    self.lost = 0;
+                    self.probe_idx = 0;
+                    let deadline = Self::deadline(sim, ting.config.circuit_build_timeout_ms);
+                    let circuit = ctl.build_circuit(sim, self.phase_path());
+                    self.state = TaskState::Building { circuit, deadline };
+                }
+                TaskState::Building { circuit, deadline } => match ctl.circuit_status(circuit) {
+                    CircuitStatus::Ready => {
+                        let deadline = Self::deadline(sim, ting.config.stream_timeout_ms);
+                        let stream = ctl.open_stream(sim, circuit, self.echo);
+                        self.state = TaskState::Opening {
+                            circuit,
+                            stream,
+                            deadline,
+                        };
+                    }
+                    status => {
+                        let settled = status == CircuitStatus::Failed;
+                        if !settled && !Self::past(sim, deadline) && !idle {
+                            return deadline;
+                        }
+                        idle = false;
+                        let path = self.phase_path();
+                        let permanent = ctl.circuit_error(circuit).is_some();
+                        ting.metrics.on_circuit_failed();
+                        ting.metrics.trace(format!(
+                            "circuit_failed path={:?} permanent={permanent}",
+                            path.iter().map(|n| n.0).collect::<Vec<_>>()
+                        ));
+                        ctl.close_circuit(sim, circuit);
+                        self.fail_attempt(
+                            sim,
+                            ting,
+                            TingError::CircuitBuildFailed { path, permanent },
+                        );
+                    }
+                },
+                TaskState::Opening {
+                    circuit,
+                    stream,
+                    deadline,
+                } => match ctl.stream_status(stream) {
+                    StreamStatus::Open => {
+                        self.send_probe(sim, ctl, ting, circuit, stream);
+                    }
+                    status => {
+                        let settled = status != StreamStatus::Connecting;
+                        if !settled && !Self::past(sim, deadline) && !idle {
+                            return deadline;
+                        }
+                        idle = false;
+                        ting.metrics
+                            .trace(format!("stream_failed circuit={}", circuit.0));
+                        ctl.close_circuit(sim, circuit);
+                        self.fail_attempt(sim, ting, TingError::StreamFailed);
+                    }
+                },
+                TaskState::Spacing {
+                    circuit,
+                    stream,
+                    resume_at,
+                } => {
+                    if sim.now() < resume_at {
+                        return Some(resume_at);
+                    }
+                    self.send_probe(sim, ctl, ting, circuit, stream);
+                }
+                TaskState::AwaitEcho {
+                    circuit,
+                    stream,
+                    ref expect,
+                    sent_at,
+                    deadline,
+                } => {
+                    let echoed = ctl
+                        .take_received(stream)
+                        .into_iter()
+                        .filter(|(arrival, data)| *arrival >= sent_at && data == expect)
+                        .map(|(arrival, _)| (arrival - sent_at).as_millis_f64())
+                        .next_back();
+                    match echoed {
+                        Some(rtt) => {
+                            self.samples.push(rtt);
+                            if ting.config.policy.wants_more(&self.samples) {
+                                self.pause_or_probe(sim, ctl, ting, circuit, stream);
+                            } else {
+                                self.finish_phase(sim, ctl, circuit, stream);
+                            }
+                        }
+                        None => {
+                            if !Self::past(sim, deadline) && !idle {
+                                return deadline;
+                            }
+                            idle = false;
+                            self.lost += 1;
+                            ting.metrics.on_probe_timed_out();
+                            if self.lost > ting.config.max_lost_probes {
+                                ting.metrics.trace(format!(
+                                    "probes_lost circuit={} lost={}",
+                                    circuit.0, self.lost
+                                ));
+                                ctl.close_stream(sim, stream);
+                                ctl.close_circuit(sim, circuit);
+                                self.fail_attempt(sim, ting, TingError::ProbeLost);
+                            } else {
+                                self.pause_or_probe(sim, ctl, ting, circuit, stream);
+                            }
+                        }
+                    }
+                }
+                TaskState::Backoff { resume_at } => {
+                    if sim.now() < resume_at {
+                        return Some(resume_at);
+                    }
+                    self.state = TaskState::StartPhase;
+                }
+                TaskState::Done => return None,
+            }
+        }
+    }
+
+    /// Waits out the probe spacing (if configured) before the next
+    /// probe. The first probe of a circuit never waits.
+    fn pause_or_probe(
+        &mut self,
+        sim: &mut Simulator,
+        ctl: &mut Controller,
+        ting: &Ting,
+        circuit: CircuitHandle,
+        stream: StreamHandle,
+    ) {
+        if ting.config.probe_spacing_ms > 0.0 && self.probe_idx > 0 {
+            self.state = TaskState::Spacing {
+                circuit,
+                stream,
+                resume_at: sim.now() + SimDuration::from_millis_f64(ting.config.probe_spacing_ms),
+            };
+        } else {
+            self.send_probe(sim, ctl, ting, circuit, stream);
+        }
+    }
+
+    /// Seals the current phase's samples, tears the circuit down, and
+    /// either advances to the next phase or completes the measurement.
+    fn finish_phase(
+        &mut self,
+        sim: &mut Simulator,
+        ctl: &mut Controller,
+        circuit: CircuitHandle,
+        stream: StreamHandle,
+    ) {
+        ctl.close_stream(sim, stream);
+        ctl.close_circuit(sim, circuit);
+        self.phase_samples
+            .push(CircuitSamples::new(std::mem::take(&mut self.samples)));
+        self.phase += 1;
+        self.attempt = 1;
+        if self.phase == 3 {
+            let y_leg = self.phase_samples.pop().expect("three phases");
+            let x_leg = self.phase_samples.pop().expect("three phases");
+            let full = self.phase_samples.pop().expect("three phases");
+            let elapsed_s = (sim.now() - self.started).as_secs_f64();
+            self.result = Some(Ok(TingMeasurement {
+                full,
+                x_leg,
+                y_leg,
+                elapsed_s,
+            }));
+            self.state = TaskState::Done;
+        } else {
+            self.state = TaskState::StartPhase;
+        }
+    }
+}
+
+/// Measures `assignments` — `(vantage, x, y)` triples — with one
+/// in-flight measurement per vantage, interleaved over the shared event
+/// loop so up to [`TorNetwork::vantage_count`] pairs progress
+/// concurrently in virtual time. Each vantage works through its own
+/// shard of the assignment list in order; outcomes are returned in
+/// completion order (deterministic for a fixed network and assignment
+/// list).
+///
+/// # Panics
+/// Panics when an assignment names a vantage the network does not have,
+/// or when the driver detects a livelock (a task neither progressing
+/// nor holding a wake-up — a bug, not an expected runtime condition).
+pub fn measure_interleaved(
+    net: &mut TorNetwork,
+    ting: &Ting,
+    assignments: &[(usize, NodeId, NodeId)],
+) -> Vec<PairOutcome> {
+    let k = net.vantage_count();
+    let mut shards: Vec<VecDeque<(NodeId, NodeId)>> = (0..k).map(|_| VecDeque::new()).collect();
+    for &(v, x, y) in assignments {
+        assert!(v < k, "assignment to vantage {v} but only {k} provisioned");
+        shards[v].push_back((x, y));
+    }
+    let mut active: Vec<Option<PairTask>> = (0..k).map(|_| None).collect();
+    let mut outcomes = Vec::with_capacity(assignments.len());
+    let mut idle_pending = false;
+    let mut stuck_polls = 0u32;
+
+    loop {
+        let idle = std::mem::take(&mut idle_pending);
+        let mut wake: Option<SimTime> = None;
+        let mut any_active = false;
+        for v in 0..k {
+            if active[v].is_none() {
+                if let Some((x, y)) = shards[v].pop_front() {
+                    let (w, z, echo) = net.vantage_endpoints(v);
+                    active[v] = Some(PairTask::new(x, y, w, z, echo, net.sim.now()));
+                }
+            }
+            let Some(task) = active[v].as_mut() else {
+                continue;
+            };
+            any_active = true;
+            let (sim, ctl, _, _, _) = net.vantage_parts(v);
+            let hint = task.poll(sim, ctl, ting, idle);
+            if let Some(result) = task.result.take() {
+                outcomes.push(PairOutcome {
+                    x: task.x,
+                    y: task.y,
+                    vantage: v,
+                    completed_at: net.sim.now(),
+                    result,
+                });
+                active[v] = None;
+            } else if let Some(h) = hint {
+                wake = Some(wake.map_or(h, |w| w.min(h)));
+            }
+        }
+        if !any_active && shards.iter().all(VecDeque::is_empty) {
+            break;
+        }
+
+        // Advance virtual time to whatever comes first: the next queued
+        // event or the earliest task wake-up. When neither exists the
+        // network is quiescent with tasks still waiting — re-poll them
+        // with the idle flag so unmet conditions resolve as timeouts.
+        match (net.sim.next_event_at(), wake) {
+            (Some(te), Some(tw)) if te > tw => {
+                net.sim.advance_to(tw);
+            }
+            (Some(_), _) => {
+                net.sim.step();
+            }
+            (None, Some(tw)) => {
+                net.sim.advance_to(tw);
+            }
+            (None, None) => {
+                idle_pending = true;
+                stuck_polls += 1;
+                assert!(
+                    stuck_polls < 100_000,
+                    "interleaved measurement livelocked with tasks pending"
+                );
+                continue;
+            }
+        }
+        stuck_polls = 0;
+    }
+    outcomes
+}

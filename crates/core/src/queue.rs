@@ -1,0 +1,296 @@
+//! The scanner's incrementally maintained work queue.
+//!
+//! [`crate::scanner::Scanner`] used to re-derive its priorities with a
+//! full O(n²) sweep over every pair on every round (twice, in fact:
+//! once to plan and once to report). [`WorkQueue`] keeps the same
+//! priority order — never-measured pairs first in index order, then
+//! stale pairs oldest first, with failure-backoff pairs withheld until
+//! eligible — in a set of ordered structures that are updated in
+//! O(log n) per measurement outcome, so planning a round costs
+//! O(round size · log n) instead of O(n²).
+//!
+//! The ordering contract is exactly `Scanner::plan_round`'s, and a
+//! property test (`tests/parallel_scan.rs`) replays randomized
+//! measure/fail/staleness histories against both implementations to
+//! hold the two to bit-equality.
+
+use netsim::{NodeId, SimDuration, SimTime};
+use std::collections::{BTreeSet, HashMap};
+
+/// Where one pair currently lives inside the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairState {
+    /// Never successfully measured; eligible immediately.
+    Unmeasured,
+    /// Measured at the given instant and not yet stale.
+    Fresh(SimTime),
+    /// Measured at the given instant, past the staleness horizon.
+    Stale(SimTime),
+    /// Under failure backoff until `until`; `measured` remembers the
+    /// last successful measurement (if any) so the pair re-enters the
+    /// right tier when the backoff expires.
+    Backoff {
+        until: SimTime,
+        measured: Option<SimTime>,
+    },
+}
+
+/// An incrementally maintained priority structure over all node pairs.
+///
+/// Pairs are keyed by their `(i, j)` indices (`i < j`) into the node
+/// list, which makes the `BTreeSet` orderings reproduce the old O(n²)
+/// sweep exactly: the sweep pushed unmeasured pairs in `(i, j)`
+/// iteration order and stably sorted stale pairs by measurement time
+/// (ties keeping iteration order).
+#[derive(Debug, Clone)]
+pub struct WorkQueue {
+    nodes: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    staleness: SimDuration,
+    state: HashMap<(u32, u32), PairState>,
+    /// Never-measured pairs, in `(i, j)` index order.
+    unmeasured: BTreeSet<(u32, u32)>,
+    /// Measured, not yet stale; ordered by measurement time so the
+    /// stale horizon advances over a prefix.
+    fresh: BTreeSet<(SimTime, u32, u32)>,
+    /// Measured and stale; oldest measurement first.
+    stale: BTreeSet<(SimTime, u32, u32)>,
+    /// Under failure backoff; ordered by eligibility instant.
+    backoff: BTreeSet<(SimTime, u32, u32)>,
+}
+
+impl WorkQueue {
+    /// Creates a queue over `nodes` with every pair unmeasured.
+    ///
+    /// # Panics
+    /// Panics on duplicate nodes.
+    pub fn new(nodes: Vec<NodeId>, staleness: SimDuration) -> WorkQueue {
+        let mut index = HashMap::with_capacity(nodes.len());
+        for (i, n) in nodes.iter().enumerate() {
+            assert!(index.insert(*n, i).is_none(), "duplicate node {n:?}");
+        }
+        let n = nodes.len();
+        let mut unmeasured = BTreeSet::new();
+        let mut state = HashMap::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                unmeasured.insert((i, j));
+                state.insert((i, j), PairState::Unmeasured);
+            }
+        }
+        WorkQueue {
+            nodes,
+            index,
+            staleness,
+            state,
+            unmeasured,
+            fresh: BTreeSet::new(),
+            stale: BTreeSet::new(),
+            backoff: BTreeSet::new(),
+        }
+    }
+
+    fn pair_key(&self, a: NodeId, b: NodeId) -> (u32, u32) {
+        let (ia, ib) = (self.index[&a] as u32, self.index[&b] as u32);
+        if ia <= ib {
+            (ia, ib)
+        } else {
+            (ib, ia)
+        }
+    }
+
+    /// Removes `key` from whichever active structure holds it.
+    fn detach(&mut self, key: (u32, u32)) -> PairState {
+        let state = self.state[&key];
+        match state {
+            PairState::Unmeasured => {
+                self.unmeasured.remove(&key);
+            }
+            PairState::Fresh(t) => {
+                self.fresh.remove(&(t, key.0, key.1));
+            }
+            PairState::Stale(t) => {
+                self.stale.remove(&(t, key.0, key.1));
+            }
+            PairState::Backoff { until, .. } => {
+                self.backoff.remove(&(until, key.0, key.1));
+            }
+        }
+        state
+    }
+
+    fn attach(&mut self, key: (u32, u32), state: PairState) {
+        match state {
+            PairState::Unmeasured => {
+                self.unmeasured.insert(key);
+            }
+            PairState::Fresh(t) => {
+                self.fresh.insert((t, key.0, key.1));
+            }
+            PairState::Stale(t) => {
+                self.stale.insert((t, key.0, key.1));
+            }
+            PairState::Backoff { until, .. } => {
+                self.backoff.insert((until, key.0, key.1));
+            }
+        }
+        self.state.insert(key, state);
+    }
+
+    /// Records a successful measurement at `at`. Clears any backoff.
+    pub fn on_measured(&mut self, a: NodeId, b: NodeId, at: SimTime) {
+        let key = self.pair_key(a, b);
+        self.detach(key);
+        // A success always re-enters as fresh; staleness migration
+        // happens lazily against the clock in `normalize`.
+        self.attach(key, PairState::Fresh(at));
+    }
+
+    /// Records a failed measurement: the pair is withheld until
+    /// `until`, then re-enters the tier its measurement history puts
+    /// it in (unmeasured, or stale/fresh by its last success).
+    pub fn on_failed(&mut self, a: NodeId, b: NodeId, until: SimTime) {
+        let key = self.pair_key(a, b);
+        let measured = match self.detach(key) {
+            PairState::Unmeasured => None,
+            PairState::Fresh(t) | PairState::Stale(t) => Some(t),
+            PairState::Backoff { measured, .. } => measured,
+        };
+        self.attach(key, PairState::Backoff { until, measured });
+    }
+
+    /// Advances the time-dependent tiers to `now`: expired backoffs
+    /// re-enter their measurement tier, and fresh entries past the
+    /// staleness horizon move to the stale tier. Amortized O(log n)
+    /// per transition — each pair moves at most twice per cycle.
+    fn normalize(&mut self, now: SimTime) {
+        // Expired backoffs first: a released pair may be stale already.
+        while let Some(&(until, i, j)) = self.backoff.iter().next() {
+            if until > now {
+                break;
+            }
+            self.backoff.remove(&(until, i, j));
+            let measured = match self.state[&(i, j)] {
+                PairState::Backoff { measured, .. } => measured,
+                _ => unreachable!("backoff set out of sync"),
+            };
+            let state = match measured {
+                None => PairState::Unmeasured,
+                Some(t) if now.since(t) >= self.staleness => PairState::Stale(t),
+                Some(t) => PairState::Fresh(t),
+            };
+            self.attach((i, j), state);
+        }
+        // Fresh → stale over the ordered prefix.
+        while let Some(&(t, i, j)) = self.fresh.iter().next() {
+            if now.since(t) < self.staleness {
+                break;
+            }
+            self.fresh.remove(&(t, i, j));
+            self.attach((i, j), PairState::Stale(t));
+        }
+    }
+
+    /// The pairs the scanner should measure next, most urgent first —
+    /// the incremental equivalent of the old O(n²) `plan_round` sweep.
+    pub fn plan(&mut self, now: SimTime, limit: usize) -> Vec<(NodeId, NodeId)> {
+        self.normalize(now);
+        self.unmeasured
+            .iter()
+            .map(|&(i, j)| (i, j))
+            .chain(self.stale.iter().map(|&(_, i, j)| (i, j)))
+            .take(limit)
+            .map(|(i, j)| (self.nodes[i as usize], self.nodes[j as usize]))
+            .collect()
+    }
+
+    /// The true backlog: every pair eligible for measurement at `now`,
+    /// with no round-size cap.
+    pub fn backlog(&mut self, now: SimTime) -> usize {
+        self.normalize(now);
+        self.unmeasured.len() + self.stale.len()
+    }
+
+    /// Total pairs tracked.
+    pub fn total_pairs(&self) -> usize {
+        self.state.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn queue(n: u32) -> WorkQueue {
+        WorkQueue::new((0..n).map(NodeId).collect(), SimDuration::from_secs(100))
+    }
+
+    #[test]
+    fn starts_with_all_pairs_unmeasured_in_index_order() {
+        let mut q = queue(3);
+        assert_eq!(q.total_pairs(), 3);
+        assert_eq!(
+            q.plan(t(0), 10),
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(2)),
+            ]
+        );
+        assert_eq!(q.backlog(t(0)), 3);
+    }
+
+    #[test]
+    fn measured_pairs_leave_until_stale() {
+        let mut q = queue(3);
+        q.on_measured(NodeId(0), NodeId(1), t(0));
+        q.on_measured(NodeId(0), NodeId(2), t(10));
+        assert_eq!(q.plan(t(10), 10), vec![(NodeId(1), NodeId(2))]);
+        // At t=100 the first measurement crosses the 100 s horizon.
+        assert_eq!(
+            q.plan(t(100), 10),
+            vec![(NodeId(1), NodeId(2)), (NodeId(0), NodeId(1))]
+        );
+        // At t=110 both are stale, oldest first, after the unmeasured.
+        assert_eq!(
+            q.plan(t(110), 10),
+            vec![
+                (NodeId(1), NodeId(2)),
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn failed_pairs_withheld_until_backoff_expires() {
+        let mut q = queue(2);
+        q.on_failed(NodeId(0), NodeId(1), t(50));
+        assert!(q.plan(t(0), 10).is_empty());
+        assert_eq!(q.backlog(t(49)), 0);
+        // Eligible again exactly at the deadline, still unmeasured.
+        assert_eq!(q.plan(t(50), 10), vec![(NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
+    fn failed_measured_pair_reenters_by_its_history() {
+        let mut q = queue(2);
+        q.on_measured(NodeId(0), NodeId(1), t(0));
+        q.on_failed(NodeId(0), NodeId(1), t(20));
+        // Backoff expired but the old estimate is still fresh.
+        assert!(q.plan(t(20), 10).is_empty());
+        // Once the old estimate crosses the horizon it queues as stale.
+        assert_eq!(q.plan(t(100), 10), vec![(NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
+    fn symmetric_keys() {
+        let mut q = queue(2);
+        q.on_measured(NodeId(1), NodeId(0), t(0));
+        assert!(q.plan(t(0), 10).is_empty());
+    }
+}

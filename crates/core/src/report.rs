@@ -11,6 +11,16 @@ use crate::matrix::RttMatrix;
 use stats::{EmpiricalCdf, MinConvergence};
 use std::fmt::Write as _;
 
+/// Whether an Eq. (4) estimate is below any plausible RTT floor
+/// (negative or ~0 ms). The subtraction of two half-leg minima can
+/// undershoot when the leg circuits were measured under different
+/// congestion floors; such a value is a measurement artifact, not an
+/// RTT. Shared by the campaign audit below and by
+/// [`crate::scanner::Scanner`], which refuses to cache such estimates.
+pub fn implausibly_low(estimate_ms: f64) -> bool {
+    estimate_ms < 0.05
+}
+
 /// Quality flags a campaign can raise about individual pairs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QualityFlag {
@@ -49,7 +59,7 @@ impl CampaignReport {
         let mut total_samples = 0;
         for (i, m) in measurements.iter().enumerate() {
             total_samples += m.total_samples();
-            if m.estimate_ms() < 0.05 {
+            if implausibly_low(m.estimate_ms()) {
                 flags.push(QualityFlag::ImplausiblyLow { pair_index: i });
             }
             if let Some(conv) = MinConvergence::analyze(&m.full.samples) {

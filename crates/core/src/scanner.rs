@@ -8,8 +8,11 @@
 //! whose estimates have gone stale. [`Scanner`] implements that loop on
 //! top of [`crate::matrix::RttMatrix`].
 
+use crate::estimator::TingMeasurement;
 use crate::matrix::RttMatrix;
 use crate::orchestrator::{Ting, TingError};
+use crate::parallel::measure_interleaved;
+use crate::queue::WorkQueue;
 use netsim::{NodeId, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -69,6 +72,9 @@ pub struct Scanner {
     measured_at: HashMap<(NodeId, NodeId), SimTime>,
     /// Pairs under failure backoff.
     pending_retry: HashMap<(NodeId, NodeId), FailState>,
+    /// Incremental priority structure mirroring `measured_at` +
+    /// `pending_retry`; replaces the per-round O(n²) sweeps.
+    queue: WorkQueue,
 }
 
 impl Scanner {
@@ -76,9 +82,10 @@ impl Scanner {
     pub fn new(nodes: Vec<NodeId>, config: ScannerConfig) -> Scanner {
         Scanner {
             config,
-            matrix: RttMatrix::new(nodes),
+            matrix: RttMatrix::new(nodes.clone()),
             measured_at: HashMap::new(),
             pending_retry: HashMap::new(),
+            queue: WorkQueue::new(nodes, config.staleness),
         }
     }
 
@@ -103,6 +110,12 @@ impl Scanner {
     /// Pairs the scanner would measure next, most urgent first:
     /// never-measured pairs, then stale ones, oldest first. Pairs whose
     /// failure backoff has not expired are withheld.
+    ///
+    /// This is the original O(n²) full sweep, kept as the executable
+    /// specification of the priority order. The scan loop itself plans
+    /// through the incremental [`WorkQueue`] instead; a property test
+    /// replays randomized histories against both to keep them
+    /// bit-equal.
     pub fn plan_round(&self, now: SimTime) -> Vec<(NodeId, NodeId)> {
         let nodes = self.matrix.nodes().to_vec();
         let mut unmeasured = Vec::new();
@@ -143,21 +156,78 @@ impl Scanner {
         SimDuration::from_nanos(ns)
     }
 
+    /// Records a successful measurement, subject to the same sanity
+    /// gate [`crate::report::CampaignReport`] applies when auditing a
+    /// finished campaign: Eq. (4) subtracts two half-legs from the full
+    /// circuit and can come out negative or implausibly close to zero
+    /// under pathological sampling. Such an estimate never reaches the
+    /// cache — the pair is re-queued under the failure backoff instead.
+    /// Returns `true` when the estimate was accepted.
+    fn record_success(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        m: &TingMeasurement,
+        now: SimTime,
+        ting: &Ting,
+    ) -> bool {
+        let est = m.estimate_ms();
+        if crate::report::implausibly_low(est) {
+            ting.metrics.trace(format!(
+                "implausible_estimate a={} b={} est_ms={est:.3}",
+                a.0, b.0
+            ));
+            self.record_failure(a, b, now, ting);
+            return false;
+        }
+        self.matrix.set(a, b, est);
+        self.measured_at.insert(key(a, b), now);
+        self.pending_retry.remove(&key(a, b));
+        self.queue.on_measured(a, b, now);
+        true
+    }
+
+    /// Re-queues a failed pair under exponential backoff.
+    fn record_failure(&mut self, a: NodeId, b: NodeId, now: SimTime, ting: &Ting) {
+        let attempts = self.pending_retry.get(&key(a, b)).map_or(0, |f| f.attempts) + 1;
+        let next_attempt_at = now + self.backoff(attempts);
+        self.pending_retry.insert(
+            key(a, b),
+            FailState {
+                attempts,
+                next_attempt_at,
+            },
+        );
+        self.queue.on_failed(a, b, next_attempt_at);
+        ting.metrics.on_pair_requeued();
+        ting.metrics.trace(format!(
+            "pair_requeued a={} b={} attempts={attempts}",
+            a.0, b.0
+        ));
+    }
+
     /// Executes one round against the network. Failed measurements
     /// (circuit build failures on churned relays, lost probes) are
     /// re-queued under exponential backoff rather than poisoning the
     /// cache or hot-looping on a dead relay.
+    ///
+    /// Planning and reporting both come from the incremental work
+    /// queue — one O(round · log n) plan per round instead of the two
+    /// O(n²) sweeps the scanner used to pay — and
+    /// [`RoundReport::still_pending`] is the *true* backlog, not capped
+    /// at [`ScannerConfig::pairs_per_round`].
     pub fn run_round(&mut self, net: &mut TorNetwork, ting: &Ting) -> RoundReport {
-        let plan = self.plan_round(net.sim.now());
+        let plan = self.queue.plan(net.sim.now(), self.config.pairs_per_round);
         let mut measured = 0;
         let mut failed = 0;
         for (a, b) in plan {
             match ting.measure_pair(net, a, b) {
                 Ok(m) => {
-                    self.matrix.set(a, b, m.estimate_ms());
-                    self.measured_at.insert(key(a, b), net.sim.now());
-                    self.pending_retry.remove(&key(a, b));
-                    measured += 1;
+                    if self.record_success(a, b, &m, net.sim.now(), ting) {
+                        measured += 1;
+                    } else {
+                        failed += 1;
+                    }
                 }
                 Err(
                     TingError::CircuitBuildFailed { .. }
@@ -165,31 +235,60 @@ impl Scanner {
                     | TingError::ProbeLost,
                 ) => {
                     failed += 1;
-                    let attempts = self
-                        .pending_retry
-                        .get(&key(a, b))
-                        .map_or(0, |f| f.attempts)
-                        + 1;
-                    let next_attempt_at = net.sim.now() + self.backoff(attempts);
-                    self.pending_retry.insert(
-                        key(a, b),
-                        FailState {
-                            attempts,
-                            next_attempt_at,
-                        },
-                    );
-                    ting.metrics.on_pair_requeued();
-                    ting.metrics.trace(format!(
-                        "pair_requeued a={} b={} attempts={attempts}",
-                        a.0, b.0
-                    ));
+                    self.record_failure(a, b, net.sim.now(), ting);
                 }
             }
         }
         RoundReport {
             measured,
             failed,
-            still_pending: self.plan_round(net.sim.now()).len(),
+            still_pending: self.queue.backlog(net.sim.now()),
+        }
+    }
+
+    /// Executes one round with the round's pairs sharded round-robin
+    /// over every provisioned vantage (see
+    /// [`tor_sim::TorNetworkBuilder::vantages`]) and measured
+    /// concurrently in virtual time via
+    /// [`crate::parallel::measure_interleaved`]. Outcomes are recorded
+    /// in completion order, stamped with each measurement's own
+    /// completion instant.
+    ///
+    /// With a single vantage this *is* [`Scanner::run_round`] — the
+    /// sequential path is invoked directly, so `K = 1` output stays
+    /// bit-identical to the sequential scanner's.
+    pub fn run_round_parallel(&mut self, net: &mut TorNetwork, ting: &Ting) -> RoundReport {
+        let k = net.vantage_count();
+        if k <= 1 {
+            return self.run_round(net, ting);
+        }
+        let plan = self.queue.plan(net.sim.now(), self.config.pairs_per_round);
+        let assignments: Vec<(usize, NodeId, NodeId)> = plan
+            .iter()
+            .enumerate()
+            .map(|(j, &(a, b))| (j % k, a, b))
+            .collect();
+        let mut measured = 0;
+        let mut failed = 0;
+        for outcome in measure_interleaved(net, ting, &assignments) {
+            match outcome.result {
+                Ok(m) => {
+                    if self.record_success(outcome.x, outcome.y, &m, outcome.completed_at, ting) {
+                        measured += 1;
+                    } else {
+                        failed += 1;
+                    }
+                }
+                Err(_) => {
+                    failed += 1;
+                    self.record_failure(outcome.x, outcome.y, outcome.completed_at, ting);
+                }
+            }
+        }
+        RoundReport {
+            measured,
+            failed,
+            still_pending: self.queue.backlog(net.sim.now()),
         }
     }
 
@@ -263,8 +362,13 @@ impl Scanner {
             .collect::<Result<_, _>>()?;
         let config_line = lines.next().ok_or("missing config line")?;
         let mut config = ScannerConfig::default();
-        for tok in config_line.trim_start_matches("# config:").split_whitespace() {
-            let (k, v) = tok.split_once('=').ok_or_else(|| format!("bad token {tok:?}"))?;
+        for tok in config_line
+            .trim_start_matches("# config:")
+            .split_whitespace()
+        {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("bad token {tok:?}"))?;
             let v: u64 = v.parse().map_err(|e| format!("{k}: {e}"))?;
             match k {
                 "staleness_ns" => config.staleness = SimDuration::from_nanos(v),
@@ -326,6 +430,25 @@ impl Scanner {
                 }
                 other => return Err(err(&format!("unknown tag {other:?}"))),
             }
+        }
+        // Rebuild the incremental queue from the parsed maps. Successes
+        // first so a subsequent failure keeps the pair's measurement
+        // history through its backoff.
+        let measured: Vec<_> = scanner
+            .measured_at
+            .iter()
+            .map(|(&(a, b), &t)| (a, b, t))
+            .collect();
+        for (a, b, t) in measured {
+            scanner.queue.on_measured(a, b, t);
+        }
+        let failed: Vec<_> = scanner
+            .pending_retry
+            .iter()
+            .map(|(&(a, b), f)| (a, b, f.next_attempt_at))
+            .collect();
+        for (a, b, until) in failed {
+            scanner.queue.on_failed(a, b, until);
         }
         Ok(scanner)
     }
@@ -428,6 +551,53 @@ mod tests {
             .advance_to(netsim::SimTime::ZERO + netsim::SimDuration::from_hours(48));
         let plan = scanner.plan_round(net.sim.now());
         assert_eq!(plan[0], missing);
+    }
+
+    #[test]
+    fn still_pending_reports_true_backlog_beyond_round_cap() {
+        let (mut net, mut scanner, ting) = setup(5);
+        // 8 nodes → 28 pairs, 5 measured per round. The old report
+        // derived `still_pending` from a second `plan_round` sweep,
+        // which capped it at `pairs_per_round`; it must be the true
+        // backlog.
+        let r = scanner.run_round(&mut net, &ting);
+        assert_eq!(r.measured, 5);
+        assert_eq!(r.still_pending, 23);
+    }
+
+    #[test]
+    fn implausible_estimates_never_reach_the_cache() {
+        use crate::estimator::CircuitSamples;
+
+        let mut scanner = Scanner::new(vec![NodeId(1), NodeId(2)], ScannerConfig::default());
+        let ting = Ting::new(TingConfig::fast());
+        let now = SimTime::ZERO + SimDuration::from_secs(10);
+        let sampled = |full: f64, leg: f64| TingMeasurement {
+            full: CircuitSamples::new(vec![full; 5]),
+            x_leg: CircuitSamples::new(vec![leg; 5]),
+            y_leg: CircuitSamples::new(vec![leg; 5]),
+            elapsed_s: 1.0,
+        };
+        // Eq. (4): 10 − 6 − 6 = −2 ms, a measurement artifact.
+        let bad = sampled(10.0, 12.0);
+        assert!(bad.estimate_ms() < 0.0);
+        assert!(!scanner.record_success(NodeId(1), NodeId(2), &bad, now, &ting));
+        assert_eq!(
+            scanner.matrix().measured_pairs(),
+            0,
+            "negative estimate must never be cached"
+        );
+        assert_eq!(scanner.measured_at(NodeId(1), NodeId(2)), None);
+        // The pair re-queued under the ordinary failure backoff.
+        let (attempts, next_at) = scanner.retry_state(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(attempts, 1);
+        assert!(next_at > now);
+        assert!(scanner.plan_round(now).is_empty());
+        assert_eq!(scanner.plan_round(next_at), vec![(NodeId(1), NodeId(2))]);
+        // A plausible re-measurement is accepted and clears the backoff.
+        assert!(scanner.record_success(NodeId(1), NodeId(2), &sampled(50.0, 20.0), next_at, &ting));
+        assert_eq!(scanner.matrix().get(NodeId(1), NodeId(2)), Some(30.0));
+        assert_eq!(scanner.retry_state(NodeId(1), NodeId(2)), None);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Tests for the multi-vantage parallel scanner: the incremental work
+//! queue is held to bit-equality with the O(n²) reference planner over
+//! randomized histories, `K = 1` parallel scans are held bit-identical
+//! to the sequential scanner, and `K = 4` must actually halve the
+//! virtual time of a full all-pairs scan.
+
+use netsim::{NodeId, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use ting::{Scanner, ScannerConfig, Ting, TingConfig, WorkQueue};
+use tor_sim::TorNetworkBuilder;
+
+const STALENESS_S: u64 = 1_000;
+
+fn t(secs: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(secs)
+}
+
+/// Renders a checkpoint for a scanner whose final state is `measured`
+/// (pair → measurement time, seconds) and `failed` (pair → backoff
+/// deadline, seconds), so the O(n²) `plan_round` reference can be
+/// queried against an arbitrary history's end state.
+fn checkpoint(
+    nodes: u32,
+    pairs_per_round: usize,
+    measured: &BTreeMap<(u32, u32), u64>,
+    failed: &BTreeMap<(u32, u32), u64>,
+) -> String {
+    let mut out = String::from("# ting scan checkpoint v1\n# nodes:");
+    for i in 0..nodes {
+        out.push_str(&format!(" {i}"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "# config: staleness_ns={} pairs_per_round={pairs_per_round} \
+         retry_backoff_ns=1000000000 retry_backoff_cap_ns=2000000000\n",
+        STALENESS_S * 1_000_000_000
+    ));
+    for (&(a, b), &t_s) in measured {
+        out.push_str(&format!("m\t{a}\t{b}\t10\t{}\n", t_s * 1_000_000_000));
+    }
+    for (&(a, b), &until_s) in failed {
+        out.push_str(&format!("f\t{a}\t{b}\t1\t{}\n", until_s * 1_000_000_000));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental queue's plan must be bit-equal to the O(n²)
+    /// reference sweep after any sequence of measurement successes and
+    /// failures, queried at any (non-decreasing) instant and round cap.
+    #[test]
+    fn work_queue_plan_matches_reference_plan_round(
+        n in 3u32..8,
+        limit in 1usize..30,
+        events in prop::collection::vec((any::<u16>(), any::<u8>(), 0u64..400), 0..60),
+    ) {
+        let node_ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut queue = WorkQueue::new(node_ids, SimDuration::from_secs(STALENESS_S));
+        // Shadow maps with the scanner's exact record semantics: a
+        // success overwrites the timestamp and clears any backoff; a
+        // failure sets the backoff and keeps the measurement history.
+        let mut measured: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut failed: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut clock = 0u64;
+        for (sel, kind, dt) in events {
+            clock += dt;
+            let i = (sel as u32) % n;
+            let j = (i + 1 + ((sel as u32) / n) % (n - 1)) % n;
+            let (a, b) = if i < j { (i, j) } else { (j, i) };
+            if kind % 2 == 0 {
+                queue.on_measured(NodeId(a), NodeId(b), t(clock));
+                measured.insert((a, b), clock);
+                failed.remove(&(a, b));
+            } else {
+                let until = clock + 1 + (kind as u64 % 7) * 100;
+                queue.on_failed(NodeId(a), NodeId(b), t(until));
+                failed.insert((a, b), until);
+            }
+        }
+        let reference =
+            Scanner::from_checkpoint(&checkpoint(n, limit, &measured, &failed)).unwrap();
+        for now_s in [clock, clock + STALENESS_S / 2, clock + 2 * STALENESS_S + 700] {
+            prop_assert_eq!(reference.plan_round(t(now_s)), queue.plan(t(now_s), limit));
+        }
+    }
+}
+
+/// Runs a 3-round scan over 6 relays on an identically seeded testbed
+/// and returns the full scanner checkpoint (matrix values + timestamps).
+fn scan_checkpoint(vantages: Option<usize>, parallel: bool) -> String {
+    let mut builder = TorNetworkBuilder::testbed(97);
+    if let Some(k) = vantages {
+        builder = builder.vantages(k);
+    }
+    let mut net = builder.build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+    let mut scanner = Scanner::new(
+        nodes,
+        ScannerConfig {
+            pairs_per_round: 7,
+            ..ScannerConfig::default()
+        },
+    );
+    let ting = Ting::new(TingConfig::fast());
+    for _ in 0..3 {
+        if parallel {
+            scanner.run_round_parallel(&mut net, &ting);
+        } else {
+            scanner.run_round(&mut net, &ting);
+        }
+    }
+    scanner.to_checkpoint()
+}
+
+/// K = 1 must not perturb the sequential scanner in any way: neither
+/// provisioning a (single) vantage pool nor routing through the
+/// parallel entry point may change a single bit of the output.
+#[test]
+fn k1_parallel_scan_is_bit_identical_to_sequential() {
+    let baseline = scan_checkpoint(None, false);
+    assert_eq!(baseline, scan_checkpoint(Some(1), false));
+    assert_eq!(baseline, scan_checkpoint(Some(1), true));
+}
+
+/// A fixed (seed, K) must reproduce the interleaved scan exactly,
+/// estimates and timestamps included.
+#[test]
+fn parallel_scan_is_deterministic_for_fixed_seed_and_k() {
+    let run = || {
+        let mut net = TorNetworkBuilder::testbed(7).vantages(3).build();
+        let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+        let mut scanner = Scanner::new(
+            nodes,
+            ScannerConfig {
+                pairs_per_round: 8,
+                ..ScannerConfig::default()
+            },
+        );
+        let ting = Ting::new(TingConfig::fast());
+        let r1 = scanner.run_round_parallel(&mut net, &ting);
+        let r2 = scanner.run_round_parallel(&mut net, &ting);
+        (scanner.to_checkpoint(), net.sim.now(), r1, r2)
+    };
+    assert_eq!(run(), run());
+}
+
+/// The tentpole acceptance: on a 40-relay network, K = 4 vantages must
+/// complete a full all-pairs scan in at most half the virtual time of
+/// the sequential scanner, while both reach full coverage.
+#[test]
+fn four_vantages_halve_full_scan_virtual_time() {
+    let full_scan = |k: usize| {
+        let mut net = TorNetworkBuilder::live(41, 40).vantages(k).build();
+        let nodes: Vec<NodeId> = net.relays.clone();
+        let pairs = nodes.len() * (nodes.len() - 1) / 2;
+        let mut scanner = Scanner::new(
+            nodes,
+            ScannerConfig {
+                pairs_per_round: pairs,
+                ..ScannerConfig::default()
+            },
+        );
+        let ting = Ting::new(TingConfig::with_samples(3));
+        let report = scanner.run_round_parallel(&mut net, &ting);
+        assert_eq!(
+            report.measured + report.failed,
+            pairs,
+            "round must attempt every pair"
+        );
+        assert!(
+            scanner.coverage() > 0.95,
+            "k={k}: coverage {:.3}",
+            scanner.coverage()
+        );
+        net.sim.now() - SimTime::ZERO
+    };
+    let sequential = full_scan(1);
+    let interleaved = full_scan(4);
+    assert!(
+        interleaved.as_nanos() * 2 <= sequential.as_nanos(),
+        "k=4 took {:.1} virtual s vs {:.1} sequential — not a 2x speedup",
+        interleaved.as_secs_f64(),
+        sequential.as_secs_f64()
+    );
+}

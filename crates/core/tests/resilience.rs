@@ -62,7 +62,10 @@ fn faulty_scan_is_deterministic() {
     let (cp1, trace1) = run_scan(&mut faulty_net(SEED), 4);
     let (cp2, trace2) = run_scan(&mut faulty_net(SEED), 4);
     assert_eq!(cp1, cp2, "scan state diverged across identical runs");
-    assert_eq!(trace1, trace2, "retry traces diverged across identical runs");
+    assert_eq!(
+        trace1, trace2,
+        "retry traces diverged across identical runs"
+    );
     assert!(
         !trace1.is_empty(),
         "fault rates were meant to provoke at least one retry/requeue"
@@ -79,7 +82,11 @@ fn zero_rate_faults_give_bit_identical_estimates() {
         let mut b = TorNetworkBuilder::live(SEED, 14);
         if with_plan {
             b = b
-                .fault_plan(FaultPlan::new(0xDEAD).with_link_loss(0.0).with_stalls(0.0, 500.0))
+                .fault_plan(
+                    FaultPlan::new(0xDEAD)
+                        .with_link_loss(0.0)
+                        .with_stalls(0.0, 500.0),
+                )
                 .relay_faults(RelayFaultProfile {
                     extend_refuse_prob: 0.0,
                     overload_drop_prob: 0.0,
@@ -90,12 +97,17 @@ fn zero_rate_faults_give_bit_identical_estimates() {
         let mut net = b.build();
         let (x, y) = (net.relays[0], net.relays[1]);
         let ting = Ting::new(TingConfig::fast());
-        let m = ting.measure_pair(&mut net, x, y).expect("clean measurement");
+        let m = ting
+            .measure_pair(&mut net, x, y)
+            .expect("clean measurement");
         (m.estimate_ms().to_bits(), ting.metrics.snapshot())
     };
     let (bits_plain, counters_plain) = measure(false);
     let (bits_zeroed, counters_zeroed) = measure(true);
-    assert_eq!(bits_plain, bits_zeroed, "zero-rate faults perturbed the estimate");
+    assert_eq!(
+        bits_plain, bits_zeroed,
+        "zero-rate faults perturbed the estimate"
+    );
     assert_eq!(counters_plain, counters_zeroed);
     assert_eq!(counters_zeroed.circuits_failed, 0);
     assert_eq!(counters_zeroed.retries, 0);

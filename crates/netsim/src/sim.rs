@@ -182,6 +182,20 @@ impl Simulator {
         }
     }
 
+    /// The timestamp of the earliest queued event, if any. Starts any
+    /// not-yet-started processes first (their `on_start` hooks may
+    /// schedule events).
+    ///
+    /// This is the interleaving hook external drivers use to multiplex
+    /// several in-flight operations over one event loop: peek the next
+    /// event time, compare it against their own wake-up deadlines, and
+    /// either [`Simulator::step`] or [`Simulator::advance_to`] — never
+    /// draining further than the earliest thing anyone is waiting on.
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        self.ensure_started();
+        self.queue.peek_time()
+    }
+
     /// Runs until the event queue drains. Returns the number of events
     /// dispatched.
     pub fn run_until_idle(&mut self) -> u64 {
@@ -817,7 +831,10 @@ mod tests {
         sim.run_until_idle(); // terminates: a lost ping ends the driver's loop
         let stats = sim.fault_plan().stats();
         assert!(stats.messages_dropped >= 1);
-        assert!(results.borrow().len() < 40, "all 40 pings survived 50% loss");
+        assert!(
+            results.borrow().len() < 40,
+            "all 40 pings survived 50% loss"
+        );
     }
 
     #[test]

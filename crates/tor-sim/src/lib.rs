@@ -37,5 +37,5 @@ pub mod traffic;
 pub use control::{CircuitHandle, CircuitStatus, Controller, StreamHandle, StreamStatus};
 pub use directory::{Consensus, RelayDescriptor, RelayFlags};
 pub use metrics::{MeasurementMetrics, MeasurementSnapshot, MetricsSnapshot, RelayMetrics};
-pub use network::{TorNetwork, TorNetworkBuilder};
+pub use network::{TorNetwork, TorNetworkBuilder, Vantage};
 pub use relay::{RelayConfig, RelayFaultProfile};

@@ -68,6 +68,9 @@ pub struct TorNetworkBuilder {
     underlay_config: UnderlayConfig,
     fault_plan: FaultPlan,
     relay_faults: RelayFaultProfile,
+    /// Vantage hosts beyond the primary measurement host (0 = the
+    /// classic single-vantage paper setup).
+    extra_vantages: usize,
 }
 
 impl TorNetworkBuilder {
@@ -83,6 +86,7 @@ impl TorNetworkBuilder {
             underlay_config: UnderlayConfig::default(),
             fault_plan: FaultPlan::disabled(),
             relay_faults: RelayFaultProfile::disabled(),
+            extra_vantages: 0,
         }
     }
 
@@ -97,7 +101,23 @@ impl TorNetworkBuilder {
             underlay_config: UnderlayConfig::default(),
             fault_plan: FaultPlan::disabled(),
             relay_faults: RelayFaultProfile::disabled(),
+            extra_vantages: 0,
         }
+    }
+
+    /// Provisions `k` vantage pairs in total: the primary measurement
+    /// host plus `k − 1` extra hosts, each with its own onion proxy,
+    /// local relay pair `(w_i, z_i)`, and echo server (§6: "multiple
+    /// instances of Ting can run in parallel"). `k = 1` (the default)
+    /// is bit-identical to a builder that never called this: the extra
+    /// hosts draw from the seed RNG only after every existing draw.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn vantages(mut self, k: usize) -> TorNetworkBuilder {
+        assert!(k >= 1, "at least the primary vantage is required");
+        self.extra_vantages = k - 1;
+        self
     }
 
     /// Overrides the relay count.
@@ -300,6 +320,49 @@ impl TorNetworkBuilder {
             });
         }
 
+        // ── Extra vantage hosts (multi-vantage parallel scanning). ──
+        // Provisioned strictly after every seed-era RNG draw above, so
+        // a builder with no extra vantages is bit-identical to one that
+        // never heard of vantage pools: the extra draws only happen
+        // when extra hosts actually exist.
+        struct VantageSeed {
+            proxy_idx: usize,
+            w_idx: usize,
+            z_idx: usize,
+            echo_idx: usize,
+            w_key: KeyPair,
+            z_key: KeyPair,
+        }
+        let mut vantage_seeds: Vec<VantageSeed> = Vec::with_capacity(self.extra_vantages);
+        for j in 0..self.extra_vantages {
+            let (city, loc) = world.sample_location(&mut rng);
+            let mut profile =
+                AsProfile::datacenter(format!("vantage-{}-{}", j + 1, city.name), loc);
+            profile.access_delay_ms = (0.02, 0.05);
+            profile.jitter_mean_ms = 0.05;
+            let vantage_as = underlay.add_as(profile);
+            let j8 = (j as u8).wrapping_add(1);
+            let host = |u: &mut Underlay, rng: &mut SmallRng, last: u8| {
+                u.add_node_in(vantage_as, loc, [198, 18, j8, last], rng)
+            };
+            let proxy_idx = host(&mut underlay, &mut rng, 1);
+            let w_idx = host(&mut underlay, &mut rng, 2);
+            let z_idx = host(&mut underlay, &mut rng, 3);
+            let echo_idx = host(&mut underlay, &mut rng, 4);
+            let mut wsec = [0u8; 32];
+            rng.fill(&mut wsec);
+            let mut zsec = [0u8; 32];
+            rng.fill(&mut zsec);
+            vantage_seeds.push(VantageSeed {
+                proxy_idx,
+                w_idx,
+                z_idx,
+                echo_idx,
+                w_key: KeyPair::from_secret(wsec),
+                z_key: KeyPair::from_secret(zsec),
+            });
+        }
+
         // ── Simulator + processes (same order as underlay nodes). ──
         let mut sim = Simulator::new(underlay, self.seed ^ 0xc0de);
         sim.set_fault_plan(self.fault_plan);
@@ -330,6 +393,43 @@ impl TorNetworkBuilder {
         debug_assert_eq!(local_z.index(), z_idx);
         debug_assert_eq!(echo_server.index(), echo_idx);
 
+        // Extra vantage processes follow the relays, mirroring the
+        // primary host's four-process layout.
+        let mut extra_vantages = Vec::with_capacity(vantage_seeds.len());
+        for seed in vantage_seeds {
+            let mut map: HashMap<NodeId, onion_crypto::PublicKey> = HashMap::new();
+            map.insert(NodeId(seed.w_idx as u32), seed.w_key.public);
+            map.insert(NodeId(seed.z_idx as u32), seed.z_key.public);
+            for (node, key) in relay_nodes.iter().zip(&relay_keys) {
+                map.insert(*node, key.public);
+            }
+            let (v_controller, v_proxy_process) =
+                Controller::create(NodeId(seed.proxy_idx as u32), map);
+            let v_proxy = sim.add_process(Box::new(v_proxy_process));
+            let vw_metrics = RelayMetrics::new();
+            let vz_metrics = RelayMetrics::new();
+            let vw = sim.add_process(Box::new(
+                Relay::new(seed.w_key, local_config).with_metrics(vw_metrics.clone()),
+            ));
+            let vz = sim.add_process(Box::new(
+                Relay::new(seed.z_key, local_config).with_metrics(vz_metrics.clone()),
+            ));
+            let v_echo = sim.add_process(Box::new(EchoServer::new()));
+            debug_assert_eq!(v_proxy.index(), seed.proxy_idx);
+            debug_assert_eq!(vw.index(), seed.w_idx);
+            debug_assert_eq!(vz.index(), seed.z_idx);
+            debug_assert_eq!(v_echo.index(), seed.echo_idx);
+            extra_vantages.push(Vantage {
+                proxy: v_proxy,
+                w: vw,
+                z: vz,
+                echo: v_echo,
+                controller: v_controller,
+                w_metrics: vw_metrics,
+                z_metrics: vz_metrics,
+            });
+        }
+
         TorNetwork {
             sim,
             consensus,
@@ -342,6 +442,7 @@ impl TorNetworkBuilder {
             local_w,
             local_z,
             echo_server,
+            extra_vantages,
         }
     }
 
@@ -380,6 +481,25 @@ impl TorNetworkBuilder {
     }
 }
 
+/// One measurement vantage beyond the primary host: an onion proxy
+/// `s_i`, two local relays `w_i`/`z_i`, an echo server `d_i`, and the
+/// controller that drives them. Each vantage owns its circuits, so K
+/// vantages can have K measurements in flight concurrently.
+pub struct Vantage {
+    /// `s_i`: the vantage's onion proxy + echo client.
+    pub proxy: NodeId,
+    /// `w_i`: the vantage's first local relay.
+    pub w: NodeId,
+    /// `z_i`: the vantage's second local relay.
+    pub z: NodeId,
+    /// `d_i`: the vantage's echo server.
+    pub echo: NodeId,
+    /// Stem-like controller for this vantage's proxy.
+    pub controller: Controller,
+    pub w_metrics: RelayMetrics,
+    pub z_metrics: RelayMetrics,
+}
+
 /// A fully assembled simulated Tor deployment.
 pub struct TorNetwork {
     pub sim: Simulator,
@@ -400,9 +520,48 @@ pub struct TorNetwork {
     pub local_z: NodeId,
     /// `d`: the echo server.
     pub echo_server: NodeId,
+    /// Vantage hosts beyond the primary (see
+    /// [`TorNetworkBuilder::vantages`]); empty in the classic
+    /// single-vantage setup.
+    pub extra_vantages: Vec<Vantage>,
 }
 
 impl TorNetwork {
+    /// Total vantage pairs available: the primary host plus extras.
+    pub fn vantage_count(&self) -> usize {
+        1 + self.extra_vantages.len()
+    }
+
+    /// The `(w_i, z_i, d_i)` endpoints of vantage `i` (0 = primary).
+    pub fn vantage_endpoints(&self, i: usize) -> (NodeId, NodeId, NodeId) {
+        if i == 0 {
+            (self.local_w, self.local_z, self.echo_server)
+        } else {
+            let v = &self.extra_vantages[i - 1];
+            (v.w, v.z, v.echo)
+        }
+    }
+
+    /// Split-borrows the simulator together with vantage `i`'s
+    /// controller and endpoints — the shape an interleaved measurement
+    /// driver needs to advance one vantage's state machine.
+    pub fn vantage_parts(
+        &mut self,
+        i: usize,
+    ) -> (&mut Simulator, &mut Controller, NodeId, NodeId, NodeId) {
+        if i == 0 {
+            (
+                &mut self.sim,
+                &mut self.controller,
+                self.local_w,
+                self.local_z,
+                self.echo_server,
+            )
+        } else {
+            let v = &mut self.extra_vantages[i - 1];
+            (&mut self.sim, &mut v.controller, v.w, v.z, v.echo)
+        }
+    }
     /// Ground truth: the underlay's base Tor-class RTT between two relay
     /// nodes (what Ting is trying to estimate).
     pub fn true_rtt_ms(&mut self, a: NodeId, b: NodeId) -> f64 {

@@ -70,7 +70,10 @@ fn storm(rate: f64, seed: u64, pairs_limit: usize) -> StormReport {
     StormReport {
         pairs,
         succeeded,
-        median_rel_err: rel_errs.get(rel_errs.len() / 2).copied().unwrap_or(f64::NAN),
+        median_rel_err: rel_errs
+            .get(rel_errs.len() / 2)
+            .copied()
+            .unwrap_or(f64::NAN),
         counters: ting.metrics.snapshot(),
     }
 }
