@@ -453,9 +453,15 @@ impl Scanner {
         Ok(scanner)
     }
 
-    /// Writes the checkpoint to a file.
+    /// Writes the checkpoint to a file atomically: the document goes to
+    /// `<path>.tmp` first and is renamed into place, so a crash mid-write
+    /// can never leave a torn checkpoint where
+    /// [`Scanner::from_checkpoint`] would misparse it.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_checkpoint())
+        let path = path.as_ref();
+        let tmp = crate::checkpoint::tmp_path(path);
+        std::fs::write(&tmp, self.to_checkpoint())?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Loads a scanner from a checkpoint file.
