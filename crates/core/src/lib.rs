@@ -38,6 +38,7 @@
 //! * [`parallel`] — the §6 scaling step: K vantage pairs measuring
 //!   concurrently in virtual time over the shared event loop.
 
+pub mod backoff;
 pub mod checkpoint;
 pub mod estimator;
 pub mod forwarding;

@@ -188,17 +188,12 @@ impl Ting {
     /// so concurrent deployments desynchronize — but never drawn from
     /// the simulation RNG, keeping retries replayable.
     pub(crate) fn backoff_ms(&self, path: &[NodeId], attempt: u32) -> f64 {
-        let base = self.config.retry_backoff_ms * 2f64.powi(attempt as i32 - 1);
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for n in path {
-            h = (h ^ n.0 as u64).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h = (h ^ attempt as u64).wrapping_mul(0x0000_0100_0000_01b3);
-        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        h ^= h >> 31;
-        let jitter = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64;
-        (base * jitter).min(self.config.retry_backoff_cap_ms)
+        crate::backoff::jittered_ms(
+            self.config.retry_backoff_ms,
+            self.config.retry_backoff_cap_ms,
+            path,
+            attempt,
+        )
     }
 
     /// [`Ting::sample_circuit`] under the retry policy: rebuilds the

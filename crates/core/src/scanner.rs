@@ -148,12 +148,11 @@ impl Scanner {
 
     /// The backoff pause after the `attempts`-th consecutive failure.
     fn backoff(&self, attempts: u32) -> SimDuration {
-        let base_ns = self.config.retry_backoff.as_nanos();
-        let shift = (attempts.saturating_sub(1)).min(32);
-        let ns = base_ns
-            .saturating_mul(1u64 << shift)
-            .min(self.config.retry_backoff_cap.as_nanos());
-        SimDuration::from_nanos(ns)
+        crate::backoff::exponential(
+            self.config.retry_backoff,
+            attempts,
+            self.config.retry_backoff_cap,
+        )
     }
 
     /// Records a successful measurement, subject to the same sanity
