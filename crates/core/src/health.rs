@@ -1,0 +1,356 @@
+//! Per-relay health scoring and quarantine.
+//!
+//! §6's all-pairs campaign only converges on the live network because
+//! sick relays don't get to stall it: the paper discards circuits that
+//! fail to build and moves on. The scanner's per-pair backoff achieves
+//! that locally, but a *dead* relay touches `n − 1` pairs, and each of
+//! them independently burns build timeouts round after round. This
+//! module adds the cross-pair view: every circuit/stream/probe outcome
+//! feeds an EWMA success score for the relays involved, and a relay
+//! whose score collapses enters **quarantine** — its pairs are parked
+//! in the [`crate::queue::WorkQueue`] instead of scheduled, and the
+//! relay re-earns its place via cheap probation probes (or pure decay,
+//! for the case where the scanner simply stops hearing about it).
+//!
+//! State machine per relay:
+//!
+//! ```text
+//!            score < quarantine_below
+//!   Healthy ──────────────────────────▶ Quarantined
+//!      ▲                                    │
+//!      │   probation probes succeed         │ every probation_interval:
+//!      │   (score ≥ release_above), or      │ one parked pair is
+//!      │   the score decays back above      │ scheduled as a probe
+//!      └────────────────────────────────────┘
+//! ```
+//!
+//! Scores decay toward healthy with a configurable half-life, so a
+//! quarantine is never a life sentence — matching how a relay that
+//! rebooted looks fine again once the consensus catches up. All state
+//! is plain `(f64, SimTime)` pairs serialized into the v2 checkpoint,
+//! so kill/resume keeps bit-identical health decisions.
+
+use netsim::{NodeId, SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// Health-model knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// EWMA weight of the newest observation.
+    pub ewma_alpha: f64,
+    /// Scores below this enter quarantine.
+    pub quarantine_below: f64,
+    /// Quarantined relays scoring at or above this are released.
+    pub release_above: f64,
+    /// Pause between probation probes of a quarantined relay.
+    pub probation_interval: SimDuration,
+    /// Half-life of the decay pulling scores back toward 1.0.
+    pub decay_half_life: SimDuration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            // From 1.0, four consecutive failures cross 0.25:
+            // 0.70 → 0.49 → 0.34 → 0.24.
+            ewma_alpha: 0.3,
+            quarantine_below: 0.25,
+            release_above: 0.6,
+            probation_interval: SimDuration::from_secs(1800),
+            decay_half_life: SimDuration::from_hours(6),
+        }
+    }
+}
+
+/// A quarantine/release transition produced by an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    Quarantined(NodeId),
+    Released(NodeId),
+}
+
+/// Per-relay quarantine record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Quarantine {
+    since: SimTime,
+    next_probe_at: SimTime,
+}
+
+/// The relay health model: EWMA scores plus the quarantine roster.
+#[derive(Debug, Clone)]
+pub struct RelayHealth {
+    config: HealthConfig,
+    /// `(score, last update)` per relay; absent means never observed
+    /// (implicitly healthy at 1.0).
+    scores: HashMap<NodeId, (f64, SimTime)>,
+    /// Quarantined relays, ordered for deterministic iteration.
+    quarantined: BTreeMap<NodeId, Quarantine>,
+}
+
+impl RelayHealth {
+    pub fn new(config: HealthConfig) -> RelayHealth {
+        RelayHealth {
+            config,
+            scores: HashMap::new(),
+            quarantined: BTreeMap::new(),
+        }
+    }
+
+    pub fn config(&self) -> HealthConfig {
+        self.config
+    }
+
+    /// The relay's current score with decay applied up to `now`
+    /// (without mutating state). Unobserved relays score 1.0.
+    pub fn score(&self, node: NodeId, now: SimTime) -> f64 {
+        match self.scores.get(&node) {
+            None => 1.0,
+            Some(&(s, at)) => self.decayed(s, at, now),
+        }
+    }
+
+    pub fn is_quarantined(&self, node: NodeId) -> bool {
+        self.quarantined.contains_key(&node)
+    }
+
+    /// Currently quarantined relays, ascending by id.
+    pub fn quarantined_nodes(&self) -> Vec<NodeId> {
+        self.quarantined.keys().copied().collect()
+    }
+
+    /// `s` decayed from `at` to `now`: the deficit below 1.0 halves
+    /// every `decay_half_life`.
+    fn decayed(&self, s: f64, at: SimTime, now: SimTime) -> f64 {
+        let half_ns = self.config.decay_half_life.as_nanos();
+        if half_ns == 0 {
+            return s;
+        }
+        let dt = now.since(at).as_nanos() as f64 / half_ns as f64;
+        1.0 - (1.0 - s) * 0.5f64.powf(dt)
+    }
+
+    /// Feeds one success/failure observation for `node` and returns the
+    /// quarantine transition it caused, if any.
+    pub fn record(&mut self, node: NodeId, success: bool, now: SimTime) -> Option<HealthEvent> {
+        let prior = self.score(node, now);
+        let obs = if success { 1.0 } else { 0.0 };
+        let score = self.config.ewma_alpha * obs + (1.0 - self.config.ewma_alpha) * prior;
+        self.scores.insert(node, (score, now));
+        if self.quarantined.contains_key(&node) {
+            if score >= self.config.release_above {
+                self.quarantined.remove(&node);
+                return Some(HealthEvent::Released(node));
+            }
+            None
+        } else if score < self.config.quarantine_below {
+            self.quarantined.insert(
+                node,
+                Quarantine {
+                    since: now,
+                    next_probe_at: now + self.config.probation_interval,
+                },
+            );
+            Some(HealthEvent::Quarantined(node))
+        } else {
+            None
+        }
+    }
+
+    /// Quarantined relays whose probation probe is due, ascending by id.
+    pub fn due_probes(&self, now: SimTime) -> Vec<NodeId> {
+        self.quarantined
+            .iter()
+            .filter(|(_, q)| q.next_probe_at <= now)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Marks a probation probe as scheduled: the next one is not due
+    /// before `now + probation_interval`.
+    pub fn probe_scheduled(&mut self, node: NodeId, now: SimTime) {
+        if let Some(q) = self.quarantined.get_mut(&node) {
+            q.next_probe_at = now + self.config.probation_interval;
+        }
+    }
+
+    /// Releases every quarantined relay whose decayed score has drifted
+    /// back above the release threshold — the path out for a relay the
+    /// scanner has stopped hearing about entirely. Returns the released
+    /// relays, ascending by id.
+    pub fn release_by_decay(&mut self, now: SimTime) -> Vec<NodeId> {
+        let release: Vec<NodeId> = self
+            .quarantined
+            .keys()
+            .copied()
+            .filter(|&n| self.score(n, now) >= self.config.release_above)
+            .collect();
+        for &n in &release {
+            let s = self.score(n, now);
+            self.scores.insert(n, (s, now));
+            self.quarantined.remove(&n);
+        }
+        release
+    }
+
+    /// Serializes scores (`h` lines) and the quarantine roster (`q`
+    /// lines) for the v2 checkpoint. Deterministic order; f64s printed
+    /// in their shortest exactly-roundtripping form.
+    pub fn checkpoint_lines(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut ids: Vec<NodeId> = self.scores.keys().copied().collect();
+        ids.sort();
+        for n in ids {
+            let (s, at) = self.scores[&n];
+            let _ = writeln!(out, "h\t{}\t{}\t{}", n.0, s, at.as_nanos());
+        }
+        for (n, q) in &self.quarantined {
+            let _ = writeln!(
+                out,
+                "q\t{}\t{}\t{}",
+                n.0,
+                q.since.as_nanos(),
+                q.next_probe_at.as_nanos()
+            );
+        }
+        out
+    }
+
+    /// Restores one `h` score line (parsed fields).
+    pub fn restore_score(&mut self, node: NodeId, score: f64, at: SimTime) {
+        self.scores.insert(node, (score, at));
+    }
+
+    /// Restores one `q` quarantine line (parsed fields).
+    pub fn restore_quarantine(&mut self, node: NodeId, since: SimTime, next_probe_at: SimTime) {
+        self.quarantined.insert(
+            node,
+            Quarantine {
+                since,
+                next_probe_at,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn health() -> RelayHealth {
+        RelayHealth::new(HealthConfig::default())
+    }
+
+    #[test]
+    fn repeated_failures_quarantine() {
+        let mut h = health();
+        let n = NodeId(7);
+        let mut event = None;
+        for i in 0..10 {
+            event = h.record(n, false, t(i));
+            if event.is_some() {
+                break;
+            }
+        }
+        assert_eq!(event, Some(HealthEvent::Quarantined(n)));
+        assert!(h.is_quarantined(n));
+        // Further failures while quarantined emit no duplicate event.
+        assert_eq!(h.record(n, false, t(20)), None);
+    }
+
+    #[test]
+    fn occasional_failures_do_not_quarantine() {
+        let mut h = health();
+        let n = NodeId(3);
+        for i in 0..50 {
+            let ev = h.record(n, i % 5 != 0, t(i)); // 20% failure rate
+            assert_eq!(ev, None, "at observation {i}");
+        }
+        assert!(!h.is_quarantined(n));
+    }
+
+    #[test]
+    fn probation_successes_release() {
+        let mut h = health();
+        let n = NodeId(9);
+        for i in 0..6 {
+            h.record(n, false, t(i));
+        }
+        assert!(h.is_quarantined(n));
+        let mut released = false;
+        for i in 0..20 {
+            if let Some(HealthEvent::Released(m)) = h.record(n, true, t(100 + i)) {
+                assert_eq!(m, n);
+                released = true;
+                break;
+            }
+        }
+        assert!(released, "successes never released the relay");
+        assert!(!h.is_quarantined(n));
+    }
+
+    #[test]
+    fn decay_releases_without_traffic() {
+        let mut h = health();
+        let n = NodeId(1);
+        for i in 0..6 {
+            h.record(n, false, t(i));
+        }
+        assert!(h.is_quarantined(n));
+        assert!(h.release_by_decay(t(3600)).is_empty(), "released too soon");
+        // Many half-lives later the deficit has decayed away.
+        let released = h.release_by_decay(t(3600 * 24 * 7));
+        assert_eq!(released, vec![n]);
+        assert!(!h.is_quarantined(n));
+        assert!(h.score(n, t(3600 * 24 * 7)) >= 0.6);
+    }
+
+    #[test]
+    fn probation_probes_respect_the_interval() {
+        let mut h = health();
+        let n = NodeId(2);
+        for i in 0..6 {
+            h.record(n, false, t(i));
+        }
+        assert!(h.due_probes(t(10)).is_empty());
+        let due_at = t(5 + 1800);
+        assert_eq!(h.due_probes(due_at), vec![n]);
+        h.probe_scheduled(n, due_at);
+        assert!(h.due_probes(due_at).is_empty());
+        assert_eq!(h.due_probes(due_at + SimDuration::from_secs(1800)), vec![n]);
+    }
+
+    #[test]
+    fn checkpoint_lines_roundtrip() {
+        let mut h = health();
+        for i in 0..6 {
+            h.record(NodeId(4), false, t(i));
+        }
+        h.record(NodeId(5), true, t(9));
+        let lines = h.checkpoint_lines();
+        let mut restored = health();
+        for line in lines.lines() {
+            let f: Vec<&str> = line.split('\t').collect();
+            let n = NodeId(f[1].parse().unwrap());
+            match f[0] {
+                "h" => restored.restore_score(
+                    n,
+                    f[2].parse().unwrap(),
+                    SimTime::ZERO + SimDuration::from_nanos(f[3].parse().unwrap()),
+                ),
+                "q" => restored.restore_quarantine(
+                    n,
+                    SimTime::ZERO + SimDuration::from_nanos(f[2].parse().unwrap()),
+                    SimTime::ZERO + SimDuration::from_nanos(f[3].parse().unwrap()),
+                ),
+                other => panic!("unexpected tag {other}"),
+            }
+        }
+        assert_eq!(restored.checkpoint_lines(), lines);
+        assert_eq!(restored.quarantined_nodes(), h.quarantined_nodes());
+    }
+}

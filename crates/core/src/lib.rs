@@ -36,12 +36,22 @@
 //! * [`queue`] — the scanner's incrementally maintained work queue
 //!   (replaces the per-round O(n²) priority sweeps);
 //! * [`parallel`] — the §6 scaling step: K vantage pairs measuring
-//!   concurrently in virtual time over the shared event loop.
+//!   concurrently in virtual time over the shared event loop;
+//! * [`health`] — per-relay EWMA success scores and quarantine, so a
+//!   dead relay stops taxing its n−1 pairs;
+//! * [`timeout`] — CBT-style adaptive per-phase deadlines learned from
+//!   successful durations;
+//! * [`validate`] — lightspeed/divergence/TIV cross-checks gating
+//!   estimates before they reach the cache;
+//! * [`checkpoint`] — CRC-sealed, atomically-written checkpoint
+//!   plumbing behind [`scanner::Scanner::save`]/`recover`;
+//! * [`backoff`] — the shared exponential/jittered backoff arithmetic.
 
 pub mod backoff;
 pub mod checkpoint;
 pub mod estimator;
 pub mod forwarding;
+pub mod health;
 pub mod king;
 pub mod matrix;
 pub mod orchestrator;
@@ -51,9 +61,12 @@ pub mod report;
 pub mod sampling;
 pub mod scanner;
 pub mod strawman;
+pub mod timeout;
+pub mod validate;
 
 pub use estimator::{ting_estimate_ms, CircuitSamples, TingMeasurement};
 pub use forwarding::{measure_forwarding_delay, ForwardingDelayMeasurement, ProbeProtocol};
+pub use health::{HealthConfig, HealthEvent, RelayHealth};
 pub use king::{king_measure, KingConfig, KingOutcome};
 pub use matrix::RttMatrix;
 pub use orchestrator::{Ting, TingConfig, TingError};
@@ -62,3 +75,5 @@ pub use queue::WorkQueue;
 pub use report::{CampaignReport, QualityFlag};
 pub use sampling::SamplePolicy;
 pub use scanner::{Scanner, ScannerConfig};
+pub use timeout::{AdaptiveTimeoutConfig, TimeoutEstimators, TimeoutPhase};
+pub use validate::{ValidationConfig, ValidationError, Verdict};

@@ -8,6 +8,7 @@
 
 use crate::estimator::{CircuitSamples, TingMeasurement};
 use crate::sampling::SamplePolicy;
+use crate::timeout::{AdaptiveTimeoutConfig, TimeoutEstimators, TimeoutPhase};
 use netsim::{NodeId, SimDuration, SimTime};
 use tor_sim::{CircuitStatus, MeasurementMetrics, TorNetwork};
 
@@ -42,6 +43,10 @@ pub struct TingConfig {
     pub retry_backoff_ms: f64,
     /// Ceiling on a single backoff pause (ms).
     pub retry_backoff_cap_ms: f64,
+    /// CBT-style adaptive per-phase deadlines (see [`crate::timeout`]).
+    /// `None` keeps the fixed deadlines above — and keeps the pipeline
+    /// bit-identical to the pre-adaptive behaviour.
+    pub adaptive_timeouts: Option<AdaptiveTimeoutConfig>,
 }
 
 impl Default for TingConfig {
@@ -60,6 +65,7 @@ impl Default for TingConfig {
             max_attempts: 3,
             retry_backoff_ms: 500.0,
             retry_backoff_cap_ms: 8_000.0,
+            adaptive_timeouts: None,
         }
     }
 }
@@ -145,6 +151,9 @@ pub struct Ting {
     /// Failure/retry counters and the retry trace, shared with callers
     /// that keep a clone.
     pub metrics: MeasurementMetrics,
+    /// Rolling per-phase duration estimators feeding the adaptive
+    /// deadlines (inert unless `config.adaptive_timeouts` is set).
+    pub timeouts: TimeoutEstimators,
 }
 
 impl Ting {
@@ -152,6 +161,30 @@ impl Ting {
         Ting {
             config,
             metrics: MeasurementMetrics::new(),
+            timeouts: TimeoutEstimators::new(),
+        }
+    }
+
+    /// The effective deadline for `phase` in ms: the learned estimate
+    /// once adaptive timeouts are enabled and warmed up, otherwise the
+    /// fixed config value (`None` = wait forever).
+    pub(crate) fn phase_timeout_ms(&self, phase: TimeoutPhase) -> Option<f64> {
+        let fixed = match phase {
+            TimeoutPhase::Build => self.config.circuit_build_timeout_ms,
+            TimeoutPhase::Stream => self.config.stream_timeout_ms,
+            TimeoutPhase::Probe => self.config.probe_timeout_ms,
+        };
+        match (&self.config.adaptive_timeouts, fixed) {
+            (Some(cfg), Some(fallback)) => Some(self.timeouts.timeout_ms(phase, cfg, fallback)),
+            (_, fixed) => fixed,
+        }
+    }
+
+    /// Feeds a successful phase duration to the estimators (no-op with
+    /// adaptive timeouts disabled).
+    pub(crate) fn observe_phase_ms(&self, phase: TimeoutPhase, ms: f64) {
+        if let Some(cfg) = &self.config.adaptive_timeouts {
+            self.timeouts.observe(phase, ms, cfg);
         }
     }
 
@@ -242,7 +275,8 @@ impl Ting {
         net: &mut TorNetwork,
         path: Vec<NodeId>,
     ) -> Result<CircuitSamples, TingError> {
-        let build_deadline = Self::deadline(net, self.config.circuit_build_timeout_ms);
+        let build_started = net.sim.now();
+        let build_deadline = Self::deadline(net, self.phase_timeout_ms(TimeoutPhase::Build));
         let circuit = net.controller.build_circuit(&mut net.sim, path.clone());
         match build_deadline {
             Some(d) => net.sim.run_until_idle_or(d),
@@ -261,8 +295,13 @@ impl Ting {
             net.controller.close_circuit(&mut net.sim, circuit);
             return Err(TingError::CircuitBuildFailed { path, permanent });
         }
+        self.observe_phase_ms(
+            TimeoutPhase::Build,
+            net.sim.now().since(build_started).as_millis_f64(),
+        );
         let echo = net.echo_server;
-        let stream_deadline = Self::deadline(net, self.config.stream_timeout_ms);
+        let open_started = net.sim.now();
+        let stream_deadline = Self::deadline(net, self.phase_timeout_ms(TimeoutPhase::Stream));
         let Some(stream) =
             net.controller
                 .open_stream_and_wait_until(&mut net.sim, circuit, echo, stream_deadline)
@@ -272,6 +311,10 @@ impl Ting {
             net.controller.close_circuit(&mut net.sim, circuit);
             return Err(TingError::StreamFailed);
         };
+        self.observe_phase_ms(
+            TimeoutPhase::Stream,
+            net.sim.now().since(open_started).as_millis_f64(),
+        );
 
         let mut samples: Vec<f64> = Vec::new();
         let mut lost: u32 = 0;
@@ -283,14 +326,17 @@ impl Ting {
             }
             let payload = self.probe_payload(probe_idx);
             probe_idx += 1;
-            let probe_deadline = Self::deadline(net, self.config.probe_timeout_ms);
+            let probe_deadline = Self::deadline(net, self.phase_timeout_ms(TimeoutPhase::Probe));
             match net.controller.echo_roundtrip_ms_until(
                 &mut net.sim,
                 stream,
                 payload,
                 probe_deadline,
             ) {
-                Some(rtt) => samples.push(rtt),
+                Some(rtt) => {
+                    self.observe_phase_ms(TimeoutPhase::Probe, rtt);
+                    samples.push(rtt);
+                }
                 None => {
                     lost += 1;
                     self.metrics.on_probe_timed_out();

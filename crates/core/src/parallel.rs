@@ -22,6 +22,7 @@
 
 use crate::estimator::{CircuitSamples, TingMeasurement};
 use crate::orchestrator::{Ting, TingError};
+use crate::timeout::TimeoutPhase;
 use netsim::{NodeId, SimDuration, SimTime, Simulator};
 use std::collections::VecDeque;
 use tor_sim::{CircuitHandle, CircuitStatus, Controller, StreamHandle, StreamStatus, TorNetwork};
@@ -92,6 +93,11 @@ struct PairTask {
     lost: u32,
     probe_idx: u64,
     phase_samples: Vec<CircuitSamples>,
+    /// When the in-flight circuit build was issued (adaptive-timeout
+    /// observation).
+    build_started: SimTime,
+    /// When the in-flight stream open was issued.
+    open_started: SimTime,
     state: TaskState,
     result: Option<Result<TingMeasurement, TingError>>,
 }
@@ -111,6 +117,8 @@ impl PairTask {
             lost: 0,
             probe_idx: 0,
             phase_samples: Vec::new(),
+            build_started: now,
+            open_started: now,
             state: TaskState::StartPhase,
             result: None,
         }
@@ -170,7 +178,7 @@ impl PairTask {
         let payload = ting.probe_payload(self.probe_idx);
         self.probe_idx += 1;
         let sent_at = sim.now();
-        let deadline = Self::deadline(sim, ting.config.probe_timeout_ms);
+        let deadline = Self::deadline(sim, ting.phase_timeout_ms(TimeoutPhase::Probe));
         ctl.send(sim, stream, payload.clone());
         self.state = TaskState::AwaitEcho {
             circuit,
@@ -203,13 +211,20 @@ impl PairTask {
                     self.samples.clear();
                     self.lost = 0;
                     self.probe_idx = 0;
-                    let deadline = Self::deadline(sim, ting.config.circuit_build_timeout_ms);
+                    self.build_started = sim.now();
+                    let deadline = Self::deadline(sim, ting.phase_timeout_ms(TimeoutPhase::Build));
                     let circuit = ctl.build_circuit(sim, self.phase_path());
                     self.state = TaskState::Building { circuit, deadline };
                 }
                 TaskState::Building { circuit, deadline } => match ctl.circuit_status(circuit) {
                     CircuitStatus::Ready => {
-                        let deadline = Self::deadline(sim, ting.config.stream_timeout_ms);
+                        ting.observe_phase_ms(
+                            TimeoutPhase::Build,
+                            sim.now().since(self.build_started).as_millis_f64(),
+                        );
+                        self.open_started = sim.now();
+                        let deadline =
+                            Self::deadline(sim, ting.phase_timeout_ms(TimeoutPhase::Stream));
                         let stream = ctl.open_stream(sim, circuit, self.echo);
                         self.state = TaskState::Opening {
                             circuit,
@@ -244,6 +259,10 @@ impl PairTask {
                     deadline,
                 } => match ctl.stream_status(stream) {
                     StreamStatus::Open => {
+                        ting.observe_phase_ms(
+                            TimeoutPhase::Stream,
+                            sim.now().since(self.open_started).as_millis_f64(),
+                        );
                         self.send_probe(sim, ctl, ting, circuit, stream);
                     }
                     status => {
@@ -283,6 +302,7 @@ impl PairTask {
                         .next_back();
                     match echoed {
                         Some(rtt) => {
+                            ting.observe_phase_ms(TimeoutPhase::Probe, rtt);
                             self.samples.push(rtt);
                             if ting.config.policy.wants_more(&self.samples) {
                                 self.pause_or_probe(sim, ctl, ting, circuit, stream);

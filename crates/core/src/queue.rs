@@ -57,6 +57,12 @@ pub struct WorkQueue {
     stale: BTreeSet<(SimTime, u32, u32)>,
     /// Under failure backoff; ordered by eligibility instant.
     backoff: BTreeSet<(SimTime, u32, u32)>,
+    /// Relays under health quarantine (see [`crate::health`]).
+    quarantined: BTreeSet<u32>,
+    /// Pairs parked because an endpoint is quarantined. Parked pairs
+    /// keep their `state` entry current but live in no tier set, so
+    /// `plan`/`backlog` skip them entirely until the relay is released.
+    parked: BTreeSet<(u32, u32)>,
 }
 
 impl WorkQueue {
@@ -87,6 +93,8 @@ impl WorkQueue {
             fresh: BTreeSet::new(),
             stale: BTreeSet::new(),
             backoff: BTreeSet::new(),
+            quarantined: BTreeSet::new(),
+            parked: BTreeSet::new(),
         }
     }
 
@@ -140,6 +148,12 @@ impl WorkQueue {
     /// Records a successful measurement at `at`. Clears any backoff.
     pub fn on_measured(&mut self, a: NodeId, b: NodeId, at: SimTime) {
         let key = self.pair_key(a, b);
+        // A parked pair (probation probe outcome) keeps its state
+        // current without re-entering any tier.
+        if self.parked.contains(&key) {
+            self.state.insert(key, PairState::Fresh(at));
+            return;
+        }
         self.detach(key);
         // A success always re-enters as fresh; staleness migration
         // happens lazily against the clock in `normalize`.
@@ -151,12 +165,104 @@ impl WorkQueue {
     /// it in (unmeasured, or stale/fresh by its last success).
     pub fn on_failed(&mut self, a: NodeId, b: NodeId, until: SimTime) {
         let key = self.pair_key(a, b);
+        if self.parked.contains(&key) {
+            let measured = match self.state[&key] {
+                PairState::Unmeasured => None,
+                PairState::Fresh(t) | PairState::Stale(t) => Some(t),
+                PairState::Backoff { measured, .. } => measured,
+            };
+            self.state
+                .insert(key, PairState::Backoff { until, measured });
+            return;
+        }
         let measured = match self.detach(key) {
             PairState::Unmeasured => None,
             PairState::Fresh(t) | PairState::Stale(t) => Some(t),
             PairState::Backoff { measured, .. } => measured,
         };
         self.attach(key, PairState::Backoff { until, measured });
+    }
+
+    /// Parks every pair touching `node`: quarantined relays' pairs are
+    /// deprioritized out of planning entirely instead of burning
+    /// timeouts on schedule. No-op for unknown nodes.
+    pub fn quarantine(&mut self, node: NodeId) {
+        let Some(&i) = self.index.get(&node) else {
+            return;
+        };
+        let i = i as u32;
+        if !self.quarantined.insert(i) {
+            return;
+        }
+        let mut keys: Vec<(u32, u32)> = self
+            .state
+            .keys()
+            .copied()
+            .filter(|&(a, b)| a == i || b == i)
+            .collect();
+        keys.sort_unstable();
+        for key in keys {
+            if self.parked.insert(key) {
+                self.detach(key);
+            }
+        }
+    }
+
+    /// Releases `node` from quarantine: its parked pairs re-enter their
+    /// tiers, except those whose other endpoint is still quarantined.
+    pub fn release(&mut self, node: NodeId) {
+        let Some(&i) = self.index.get(&node) else {
+            return;
+        };
+        let i = i as u32;
+        if !self.quarantined.remove(&i) {
+            return;
+        }
+        let keys: Vec<(u32, u32)> = self
+            .parked
+            .iter()
+            .copied()
+            .filter(|&(a, b)| a == i || b == i)
+            .collect();
+        for key in keys {
+            let other = if key.0 == i { key.1 } else { key.0 };
+            if self.quarantined.contains(&other) {
+                continue;
+            }
+            self.parked.remove(&key);
+            let state = self.state[&key];
+            self.attach(key, state);
+        }
+    }
+
+    /// Whether `node` is currently quarantined.
+    pub fn is_quarantined(&self, node: NodeId) -> bool {
+        self.index
+            .get(&node)
+            .is_some_and(|&i| self.quarantined.contains(&(i as u32)))
+    }
+
+    /// Picks a probation-probe pair for a quarantined `node`: the first
+    /// parked pair (in index order) joining it to a non-quarantined
+    /// peer. The pair stays parked — its outcome feeds the health model
+    /// without re-entering the schedule.
+    pub fn probe_pair(&self, node: NodeId) -> Option<(NodeId, NodeId)> {
+        let &i = self.index.get(&node)?;
+        let i = i as u32;
+        self.parked
+            .iter()
+            .copied()
+            .filter(|&(a, b)| a == i || b == i)
+            .find(|&(a, b)| {
+                let other = if a == i { b } else { a };
+                !self.quarantined.contains(&other)
+            })
+            .map(|(a, b)| (self.nodes[a as usize], self.nodes[b as usize]))
+    }
+
+    /// Pairs currently parked under quarantine.
+    pub fn parked_pairs(&self) -> usize {
+        self.parked.len()
     }
 
     /// Advances the time-dependent tiers to `now`: expired backoffs
@@ -292,5 +398,60 @@ mod tests {
         let mut q = queue(2);
         q.on_measured(NodeId(1), NodeId(0), t(0));
         assert!(q.plan(t(0), 10).is_empty());
+    }
+
+    #[test]
+    fn quarantine_parks_and_release_restores() {
+        let mut q = queue(4); // 6 pairs
+        q.quarantine(NodeId(0));
+        assert!(q.is_quarantined(NodeId(0)));
+        assert_eq!(q.parked_pairs(), 3);
+        // Planning skips every pair touching node 0.
+        assert_eq!(
+            q.plan(t(0), 10),
+            vec![
+                (NodeId(1), NodeId(2)),
+                (NodeId(1), NodeId(3)),
+                (NodeId(2), NodeId(3)),
+            ]
+        );
+        assert_eq!(q.backlog(t(0)), 3);
+        q.release(NodeId(0));
+        assert_eq!(q.parked_pairs(), 0);
+        assert_eq!(q.backlog(t(0)), 6);
+        assert_eq!(q.plan(t(0), 10)[0], (NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn parked_outcomes_keep_state_without_scheduling() {
+        let mut q = queue(3);
+        q.quarantine(NodeId(0));
+        // A probation measurement of a parked pair succeeds …
+        q.on_measured(NodeId(0), NodeId(1), t(5));
+        // … but the pair stays out of the plan until release.
+        assert_eq!(q.plan(t(5), 10), vec![(NodeId(1), NodeId(2))]);
+        q.release(NodeId(0));
+        // After release the fresh measurement is honored: only the
+        // never-measured pairs queue up.
+        assert_eq!(
+            q.plan(t(5), 10),
+            vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))]
+        );
+    }
+
+    #[test]
+    fn probe_pair_skips_doubly_quarantined() {
+        let mut q = queue(3);
+        q.quarantine(NodeId(0));
+        q.quarantine(NodeId(1));
+        // (0,1) joins two quarantined relays; the probe for node 0 must
+        // pick (0,2) instead.
+        assert_eq!(q.probe_pair(NodeId(0)), Some((NodeId(0), NodeId(2))));
+        assert_eq!(q.probe_pair(NodeId(1)), Some((NodeId(1), NodeId(2))));
+        // Releasing node 1 keeps (0,1) parked — node 0 is still out.
+        q.release(NodeId(1));
+        assert_eq!(q.plan(t(0), 10), vec![(NodeId(1), NodeId(2))]);
+        q.release(NodeId(0));
+        assert_eq!(q.backlog(t(0)), 3);
     }
 }

@@ -9,10 +9,13 @@
 //! top of [`crate::matrix::RttMatrix`].
 
 use crate::estimator::TingMeasurement;
+use crate::health::{HealthConfig, HealthEvent, RelayHealth};
 use crate::matrix::RttMatrix;
 use crate::orchestrator::{Ting, TingError};
 use crate::parallel::measure_interleaved;
 use crate::queue::WorkQueue;
+use crate::validate::{validate, ValidationConfig, ValidationContext, Verdict};
+use geo::GeoPoint;
 use netsim::{NodeId, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -33,6 +36,13 @@ pub struct ScannerConfig {
     pub retry_backoff: netsim::SimDuration,
     /// Ceiling on the per-pair retry pause.
     pub retry_backoff_cap: netsim::SimDuration,
+    /// Relay health scoring + quarantine (see [`crate::health`]).
+    /// `None` disables the model entirely — dead relays keep burning
+    /// per-pair backoffs, exactly the pre-health behaviour.
+    pub health: Option<HealthConfig>,
+    /// Estimate validation before caching (see [`crate::validate`]).
+    /// `None` keeps only the original implausibly-low gate.
+    pub validation: Option<ValidationConfig>,
 }
 
 impl Default for ScannerConfig {
@@ -44,6 +54,8 @@ impl Default for ScannerConfig {
             pairs_per_round: 50,
             retry_backoff: netsim::SimDuration::from_secs(300),
             retry_backoff_cap: netsim::SimDuration::from_hours(2),
+            health: None,
+            validation: None,
         }
     }
 }
@@ -75,6 +87,11 @@ pub struct Scanner {
     /// Incremental priority structure mirroring `measured_at` +
     /// `pending_retry`; replaces the per-round O(n²) sweeps.
     queue: WorkQueue,
+    /// Per-relay health model, present iff `config.health` is.
+    health: Option<RelayHealth>,
+    /// Node geolocations for the lightspeed validation bound (see
+    /// [`Scanner::load_locations`]); pairs without locations skip it.
+    locations: HashMap<NodeId, GeoPoint>,
 }
 
 impl Scanner {
@@ -86,12 +103,34 @@ impl Scanner {
             measured_at: HashMap::new(),
             pending_retry: HashMap::new(),
             queue: WorkQueue::new(nodes, config.staleness),
+            health: config.health.map(RelayHealth::new),
+            locations: HashMap::new(),
         }
     }
 
     /// The current cached dataset.
     pub fn matrix(&self) -> &RttMatrix {
         &self.matrix
+    }
+
+    /// The relay health model, if enabled.
+    pub fn health(&self) -> Option<&RelayHealth> {
+        self.health.as_ref()
+    }
+
+    /// Registers a node location for the lightspeed validation bound.
+    pub fn set_node_location(&mut self, node: NodeId, location: GeoPoint) {
+        self.locations.insert(node, location);
+    }
+
+    /// Pulls every scanned node's location from the network's underlay.
+    /// Locations are derived state, not checkpointed — call this again
+    /// after [`Scanner::from_checkpoint`].
+    pub fn load_locations(&mut self, net: &TorNetwork) {
+        for &n in self.matrix.nodes() {
+            let loc = net.sim.underlay().node(n.index()).location;
+            self.locations.insert(n, loc);
+        }
     }
 
     /// When `pair` was last measured, if ever.
@@ -179,11 +218,163 @@ impl Scanner {
             self.record_failure(a, b, now, ting);
             return false;
         }
+        if let Some(vcfg) = &self.config.validation {
+            match validate(est, vcfg, &self.validation_context(a, b, now)) {
+                Verdict::Accept => {}
+                Verdict::Flag(e) => {
+                    ting.metrics.on_estimate_flagged();
+                    ting.metrics.trace(format!(
+                        "estimate_flagged a={} b={} code={} est_ms={est:.3}",
+                        a.0,
+                        b.0,
+                        e.code()
+                    ));
+                }
+                Verdict::Reject(e) => {
+                    ting.metrics.on_estimate_rejected();
+                    ting.metrics.trace(format!(
+                        "estimate_rejected a={} b={} code={} est_ms={est:.3}",
+                        a.0,
+                        b.0,
+                        e.code()
+                    ));
+                    self.record_failure(a, b, now, ting);
+                    return false;
+                }
+            }
+        }
         self.matrix.set(a, b, est);
         self.measured_at.insert(key(a, b), now);
         self.pending_retry.remove(&key(a, b));
         self.queue.on_measured(a, b, now);
         true
+    }
+
+    /// Assembles what [`crate::validate::validate`] needs to know about
+    /// a pair: geodesic distance (if geolocated), the cached estimate
+    /// when still fresh, whether this measurement is already a retry,
+    /// and the best cached two-hop detour.
+    fn validation_context(&self, a: NodeId, b: NodeId, now: SimTime) -> ValidationContext {
+        let distance_km = match (self.locations.get(&a), self.locations.get(&b)) {
+            (Some(&pa), Some(&pb)) => Some(geo::great_circle_km(pa, pb)),
+            _ => None,
+        };
+        let fresh_cached_ms = self
+            .measured_at
+            .get(&key(a, b))
+            .filter(|&&t| now.since(t) < self.config.staleness)
+            .and_then(|_| self.matrix.get(a, b));
+        let best_detour_ms = self
+            .matrix
+            .nodes()
+            .iter()
+            .filter(|&&z| z != a && z != b)
+            .filter_map(|&z| Some(self.matrix.get(a, z)? + self.matrix.get(z, b)?))
+            .min_by(f64::total_cmp);
+        ValidationContext {
+            distance_km,
+            fresh_cached_ms,
+            confirming_retry: self.pending_retry.contains_key(&key(a, b)),
+            best_detour_ms,
+        }
+    }
+
+    /// Feeds one relay observation into the health model and applies
+    /// any quarantine transition to the work queue.
+    fn note_health(&mut self, node: NodeId, success: bool, now: SimTime, ting: &Ting) {
+        let Some(h) = self.health.as_mut() else {
+            return;
+        };
+        match h.record(node, success, now) {
+            Some(HealthEvent::Quarantined(n)) => {
+                self.queue.quarantine(n);
+                ting.metrics.on_relay_quarantined();
+                ting.metrics
+                    .trace(format!("relay_quarantined node={}", n.0));
+            }
+            Some(HealthEvent::Released(n)) => {
+                self.queue.release(n);
+                ting.metrics.on_relay_released();
+                ting.metrics
+                    .trace(format!("relay_released node={} reason=probation", n.0));
+            }
+            None => {}
+        }
+    }
+
+    /// Attributes a pair failure to its endpoints: leg-circuit build
+    /// failures name the culpable relay in their path; everything else
+    /// (full circuit, stream, probes) blames both.
+    fn blame(err: &TingError, x: NodeId, y: NodeId) -> (bool, bool) {
+        match err {
+            TingError::CircuitBuildFailed { path, .. } => (path.contains(&x), path.contains(&y)),
+            TingError::StreamFailed | TingError::ProbeLost => (true, true),
+        }
+    }
+
+    /// Health bookkeeping for one pair outcome.
+    fn note_pair_outcome(
+        &mut self,
+        x: NodeId,
+        y: NodeId,
+        result: Result<(), &TingError>,
+        now: SimTime,
+        ting: &Ting,
+    ) {
+        if self.health.is_none() {
+            return;
+        }
+        match result {
+            Ok(()) => {
+                self.note_health(x, true, now, ting);
+                self.note_health(y, true, now, ting);
+            }
+            Err(e) => {
+                // Only blamed endpoints take the hit; an unblamed
+                // endpoint gets no observation at all (its circuits
+                // were never proven either way).
+                let (blame_x, blame_y) = Self::blame(e, x, y);
+                if blame_x {
+                    self.note_health(x, false, now, ting);
+                }
+                if blame_y {
+                    self.note_health(y, false, now, ting);
+                }
+            }
+        }
+    }
+
+    /// Plans one round through the health model: decay releases first,
+    /// then due probation probes (within the round budget), then the
+    /// ordinary queue plan.
+    fn plan_round_healthy(&mut self, now: SimTime, ting: &Ting) -> Vec<(NodeId, NodeId)> {
+        let cap = self.config.pairs_per_round;
+        let mut plan = Vec::new();
+        if let Some(h) = self.health.as_mut() {
+            for n in h.release_by_decay(now) {
+                self.queue.release(n);
+                ting.metrics.on_relay_released();
+                ting.metrics
+                    .trace(format!("relay_released node={} reason=decay", n.0));
+            }
+            for n in h.due_probes(now) {
+                if plan.len() >= cap {
+                    break;
+                }
+                // Even with no probe partner available, the attempt
+                // counts: the next probe waits a full interval.
+                h.probe_scheduled(n, now);
+                if let Some((a, b)) = self.queue.probe_pair(n) {
+                    ting.metrics.on_probation_probe();
+                    ting.metrics
+                        .trace(format!("probation_probe node={} a={} b={}", n.0, a.0, b.0));
+                    plan.push((a, b));
+                }
+            }
+        }
+        let remaining = cap.saturating_sub(plan.len());
+        plan.extend(self.queue.plan(now, remaining));
+        plan
     }
 
     /// Re-queues a failed pair under exponential backoff.
@@ -216,12 +407,13 @@ impl Scanner {
     /// [`RoundReport::still_pending`] is the *true* backlog, not capped
     /// at [`ScannerConfig::pairs_per_round`].
     pub fn run_round(&mut self, net: &mut TorNetwork, ting: &Ting) -> RoundReport {
-        let plan = self.queue.plan(net.sim.now(), self.config.pairs_per_round);
+        let plan = self.plan_round_healthy(net.sim.now(), ting);
         let mut measured = 0;
         let mut failed = 0;
         for (a, b) in plan {
             match ting.measure_pair(net, a, b) {
                 Ok(m) => {
+                    self.note_pair_outcome(a, b, Ok(()), net.sim.now(), ting);
                     if self.record_success(a, b, &m, net.sim.now(), ting) {
                         measured += 1;
                     } else {
@@ -229,11 +421,12 @@ impl Scanner {
                     }
                 }
                 Err(
-                    TingError::CircuitBuildFailed { .. }
+                    ref e @ (TingError::CircuitBuildFailed { .. }
                     | TingError::StreamFailed
-                    | TingError::ProbeLost,
+                    | TingError::ProbeLost),
                 ) => {
                     failed += 1;
+                    self.note_pair_outcome(a, b, Err(e), net.sim.now(), ting);
                     self.record_failure(a, b, net.sim.now(), ting);
                 }
             }
@@ -261,7 +454,7 @@ impl Scanner {
         if k <= 1 {
             return self.run_round(net, ting);
         }
-        let plan = self.queue.plan(net.sim.now(), self.config.pairs_per_round);
+        let plan = self.plan_round_healthy(net.sim.now(), ting);
         let assignments: Vec<(usize, NodeId, NodeId)> = plan
             .iter()
             .enumerate()
@@ -272,14 +465,28 @@ impl Scanner {
         for outcome in measure_interleaved(net, ting, &assignments) {
             match outcome.result {
                 Ok(m) => {
+                    self.note_pair_outcome(
+                        outcome.x,
+                        outcome.y,
+                        Ok(()),
+                        outcome.completed_at,
+                        ting,
+                    );
                     if self.record_success(outcome.x, outcome.y, &m, outcome.completed_at, ting) {
                         measured += 1;
                     } else {
                         failed += 1;
                     }
                 }
-                Err(_) => {
+                Err(ref e) => {
                     failed += 1;
+                    self.note_pair_outcome(
+                        outcome.x,
+                        outcome.y,
+                        Err(e),
+                        outcome.completed_at,
+                        ting,
+                    );
                     self.record_failure(outcome.x, outcome.y, outcome.completed_at, ting);
                 }
             }
@@ -303,19 +510,21 @@ impl Scanner {
     }
 
     /// Serializes the scanner's full state — config, cache, measurement
-    /// timestamps, and per-pair retry backoff — to a plain-text
-    /// checkpoint. A scan killed mid-run and resumed via
-    /// [`Scanner::from_checkpoint`] continues exactly where it stopped:
-    /// completed pairs stay done, failed pairs stay under backoff.
+    /// timestamps, per-pair retry backoff, and (when enabled) relay
+    /// health — to a plain-text v2 checkpoint sealed with a CRC-32
+    /// trailer ([`crate::checkpoint::seal`]). A scan killed mid-run and
+    /// resumed via [`Scanner::from_checkpoint`] continues exactly where
+    /// it stopped: completed pairs stay done, failed pairs stay under
+    /// backoff, quarantined relays stay quarantined.
     pub fn to_checkpoint(&self) -> String {
         let mut out = String::new();
-        out.push_str("# ting scan checkpoint v1\n");
+        out.push_str("# ting scan checkpoint v2\n");
         out.push_str("# nodes:");
         for n in self.matrix.nodes() {
             let _ = write!(out, " {}", n.0);
         }
         out.push('\n');
-        let _ = writeln!(
+        let _ = write!(
             out,
             "# config: staleness_ns={} pairs_per_round={} retry_backoff_ns={} retry_backoff_cap_ns={}",
             self.config.staleness.as_nanos(),
@@ -323,7 +532,39 @@ impl Scanner {
             self.config.retry_backoff.as_nanos(),
             self.config.retry_backoff_cap.as_nanos(),
         );
-        // `{}` on f64 prints the shortest exactly-roundtripping form.
+        // `{}` on f64 prints the shortest exactly-roundtripping form,
+        // so config floats survive the text format bit-identically.
+        match &self.config.health {
+            None => out.push_str(" health=0"),
+            Some(h) => {
+                let _ = write!(
+                    out,
+                    " health=1 health_alpha={} health_qbelow={} health_rabove={} \
+                     health_probation_ns={} health_halflife_ns={}",
+                    h.ewma_alpha,
+                    h.quarantine_below,
+                    h.release_above,
+                    h.probation_interval.as_nanos(),
+                    h.decay_half_life.as_nanos(),
+                );
+            }
+        }
+        match &self.config.validation {
+            None => out.push_str(" val=0"),
+            Some(v) => {
+                let _ = write!(
+                    out,
+                    " val=1 val_divfactor={} val_divslack_ms={} val_lightspeed={} \
+                     val_tivfactor={} val_tivmin_ms={}",
+                    v.divergence_factor,
+                    v.divergence_slack_ms,
+                    u8::from(v.lightspeed),
+                    v.tiv_factor,
+                    v.tiv_min_detour_ms,
+                );
+            }
+        }
+        out.push('\n');
         for (a, b, rtt) in self.matrix.pairs() {
             let t = self.measured_at[&key(a, b)];
             let _ = writeln!(out, "m\t{}\t{}\t{}\t{}", a.0, b.0, rtt, t.as_nanos());
@@ -343,16 +584,34 @@ impl Scanner {
                 }
             }
         }
-        out
+        if let Some(h) = &self.health {
+            out.push_str(&h.checkpoint_lines());
+        }
+        crate::checkpoint::seal(out)
     }
 
-    /// Parses a [`Scanner::to_checkpoint`] document.
+    /// Parses a checkpoint document. v2 documents (the current format)
+    /// must carry a valid CRC-32 trailer — any flipped or truncated
+    /// byte is refused rather than resumed from. v1 documents (pre-CRC,
+    /// pre-health) still load for compatibility with old scan state.
     pub fn from_checkpoint(text: &str) -> Result<Scanner, String> {
-        let mut lines = text.lines();
-        let magic = lines.next().ok_or("empty checkpoint")?;
-        if !magic.starts_with("# ting scan checkpoint") {
-            return Err(format!("bad magic line: {magic:?}"));
+        let magic = text.lines().next().ok_or("empty checkpoint")?;
+        match magic {
+            "# ting scan checkpoint v1" => Self::parse_checkpoint(text, false),
+            "# ting scan checkpoint v2" => {
+                let body = crate::checkpoint::verify_sealed(text)?;
+                Self::parse_checkpoint(body, true)
+            }
+            other => Err(format!("bad magic line: {other:?}")),
         }
+    }
+
+    /// The shared checkpoint body parser. `v2` admits the health
+    /// config keys and `h`/`q` state lines; v1 documents with either
+    /// are corrupt.
+    fn parse_checkpoint(body: &str, v2: bool) -> Result<Scanner, String> {
+        let mut lines = body.lines();
+        lines.next(); // magic, already matched by the caller
         let nodes_line = lines.next().ok_or("missing node list")?;
         let nodes: Vec<NodeId> = nodes_line
             .trim_start_matches("# nodes:")
@@ -368,12 +627,33 @@ impl Scanner {
             let (k, v) = tok
                 .split_once('=')
                 .ok_or_else(|| format!("bad token {tok:?}"))?;
-            let v: u64 = v.parse().map_err(|e| format!("{k}: {e}"))?;
+            let u = |v: &str| v.parse::<u64>().map_err(|e| format!("{k}: {e}"));
+            let fl = |v: &str| v.parse::<f64>().map_err(|e| format!("{k}: {e}"));
             match k {
-                "staleness_ns" => config.staleness = SimDuration::from_nanos(v),
-                "pairs_per_round" => config.pairs_per_round = v as usize,
-                "retry_backoff_ns" => config.retry_backoff = SimDuration::from_nanos(v),
-                "retry_backoff_cap_ns" => config.retry_backoff_cap = SimDuration::from_nanos(v),
+                "staleness_ns" => config.staleness = SimDuration::from_nanos(u(v)?),
+                "pairs_per_round" => config.pairs_per_round = u(v)? as usize,
+                "retry_backoff_ns" => config.retry_backoff = SimDuration::from_nanos(u(v)?),
+                "retry_backoff_cap_ns" => config.retry_backoff_cap = SimDuration::from_nanos(u(v)?),
+                "health" if v2 => {
+                    config.health = (u(v)? == 1).then(HealthConfig::default);
+                }
+                "health_alpha" if v2 => health_cfg(&mut config, k)?.ewma_alpha = fl(v)?,
+                "health_qbelow" if v2 => health_cfg(&mut config, k)?.quarantine_below = fl(v)?,
+                "health_rabove" if v2 => health_cfg(&mut config, k)?.release_above = fl(v)?,
+                "health_probation_ns" if v2 => {
+                    health_cfg(&mut config, k)?.probation_interval = SimDuration::from_nanos(u(v)?)
+                }
+                "health_halflife_ns" if v2 => {
+                    health_cfg(&mut config, k)?.decay_half_life = SimDuration::from_nanos(u(v)?)
+                }
+                "val" if v2 => {
+                    config.validation = (u(v)? == 1).then(ValidationConfig::default);
+                }
+                "val_divfactor" if v2 => val_cfg(&mut config, k)?.divergence_factor = fl(v)?,
+                "val_divslack_ms" if v2 => val_cfg(&mut config, k)?.divergence_slack_ms = fl(v)?,
+                "val_lightspeed" if v2 => val_cfg(&mut config, k)?.lightspeed = u(v)? == 1,
+                "val_tivfactor" if v2 => val_cfg(&mut config, k)?.tiv_factor = fl(v)?,
+                "val_tivmin_ms" if v2 => val_cfg(&mut config, k)?.tiv_min_detour_ms = fl(v)?,
                 other => return Err(format!("unknown config key {other:?}")),
             }
         }
@@ -390,13 +670,13 @@ impl Scanner {
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| err("bad node a"))?,
             );
-            let b = NodeId(
-                f.next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| err("bad node b"))?,
-            );
             match tag {
                 "m" => {
+                    let b = NodeId(
+                        f.next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err("bad node b"))?,
+                    );
                     let rtt: f64 = f
                         .next()
                         .and_then(|t| t.parse().ok())
@@ -411,6 +691,11 @@ impl Scanner {
                         .insert(key(a, b), SimTime::ZERO + SimDuration::from_nanos(t_ns));
                 }
                 "f" => {
+                    let b = NodeId(
+                        f.next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err("bad node b"))?,
+                    );
                     let attempts: u32 = f
                         .next()
                         .and_then(|t| t.parse().ok())
@@ -427,12 +712,47 @@ impl Scanner {
                         },
                     );
                 }
+                "h" if v2 => {
+                    let score: f64 = f
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad health score"))?;
+                    let at_ns: u64 = f
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad health timestamp"))?;
+                    scanner
+                        .health
+                        .as_mut()
+                        .ok_or_else(|| err("health line but health=0"))?
+                        .restore_score(a, score, SimTime::ZERO + SimDuration::from_nanos(at_ns));
+                }
+                "q" if v2 => {
+                    let since_ns: u64 = f
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad quarantine since"))?;
+                    let next_ns: u64 = f
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad next-probe time"))?;
+                    scanner
+                        .health
+                        .as_mut()
+                        .ok_or_else(|| err("quarantine line but health=0"))?
+                        .restore_quarantine(
+                            a,
+                            SimTime::ZERO + SimDuration::from_nanos(since_ns),
+                            SimTime::ZERO + SimDuration::from_nanos(next_ns),
+                        );
+                }
                 other => return Err(err(&format!("unknown tag {other:?}"))),
             }
         }
         // Rebuild the incremental queue from the parsed maps. Successes
         // first so a subsequent failure keeps the pair's measurement
-        // history through its backoff.
+        // history through its backoff; quarantines last so they park
+        // pairs whose state is already current.
         let measured: Vec<_> = scanner
             .measured_at
             .iter()
@@ -449,17 +769,34 @@ impl Scanner {
         for (a, b, until) in failed {
             scanner.queue.on_failed(a, b, until);
         }
+        let quarantined = scanner
+            .health
+            .as_ref()
+            .map(|h| h.quarantined_nodes())
+            .unwrap_or_default();
+        for n in quarantined {
+            scanner.queue.quarantine(n);
+        }
         Ok(scanner)
     }
 
     /// Writes the checkpoint to a file atomically: the document goes to
     /// `<path>.tmp` first and is renamed into place, so a crash mid-write
     /// can never leave a torn checkpoint where
-    /// [`Scanner::from_checkpoint`] would misparse it.
+    /// [`Scanner::from_checkpoint`] would misparse it. When a previous
+    /// checkpoint exists and still verifies, it is promoted to
+    /// `<path>.bak` first, so [`Scanner::recover`] always has a last
+    /// good generation to fall back to.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let path = path.as_ref();
         let tmp = crate::checkpoint::tmp_path(path);
         std::fs::write(&tmp, self.to_checkpoint())?;
+        if let Ok(old) = std::fs::read_to_string(path) {
+            // Never promote a corrupt primary over a good backup.
+            if Scanner::from_checkpoint(&old).is_ok() {
+                std::fs::rename(path, crate::checkpoint::bak_path(path))?;
+            }
+        }
         std::fs::rename(&tmp, path)
     }
 
@@ -469,6 +806,20 @@ impl Scanner {
         Scanner::from_checkpoint(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+
+    /// Loads the checkpoint at `path`, falling back to the `.bak`
+    /// generation [`Scanner::save`] maintains when the primary is
+    /// missing, truncated, or corrupt. The primary's error is preserved
+    /// when both fail.
+    pub fn recover(path: impl AsRef<std::path::Path>) -> std::io::Result<Scanner> {
+        let path = path.as_ref();
+        match Scanner::load(path) {
+            Ok(s) => Ok(s),
+            Err(primary_err) => {
+                Scanner::load(crate::checkpoint::bak_path(path)).map_err(|_| primary_err)
+            }
+        }
+    }
 }
 
 fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -477,6 +828,22 @@ fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
     } else {
         (b, a)
     }
+}
+
+/// The health sub-config a `health_*` checkpoint key writes into;
+/// `health=1` must precede it in the config line.
+fn health_cfg<'a>(c: &'a mut ScannerConfig, k: &str) -> Result<&'a mut HealthConfig, String> {
+    c.health
+        .as_mut()
+        .ok_or_else(|| format!("{k} before health=1"))
+}
+
+/// The validation sub-config a `val_*` checkpoint key writes into;
+/// `val=1` must precede it in the config line.
+fn val_cfg<'a>(c: &'a mut ScannerConfig, k: &str) -> Result<&'a mut ValidationConfig, String> {
+    c.validation
+        .as_mut()
+        .ok_or_else(|| format!("{k} before val=1"))
 }
 
 #[cfg(test)]

@@ -1,0 +1,180 @@
+//! Crash-safety tests for the v2 checkpoint format: corruption is
+//! always detected (proptest over byte flips and truncations), legacy
+//! v1 documents still load, unknown config keys fail loudly, and the
+//! `.bak` generation chain lets [`Scanner::recover`] survive a corrupt
+//! primary.
+
+use proptest::prelude::*;
+use ting::checkpoint::{bak_path, seal};
+use ting::Scanner;
+
+/// A handwritten v2 document exercising every line kind: measurements,
+/// failure backoffs, health scores, and a quarantine entry.
+fn handwritten_v2() -> String {
+    seal(String::from(
+        "# ting scan checkpoint v2\n\
+         # nodes: 0 1 2 3\n\
+         # config: staleness_ns=86400000000000 pairs_per_round=8 \
+         retry_backoff_ns=300000000000 retry_backoff_cap_ns=7200000000000 \
+         health=1 health_alpha=0.3 health_qbelow=0.25 health_rabove=0.6 \
+         health_probation_ns=1800000000000 health_halflife_ns=21600000000000 \
+         val=1 val_divfactor=4 val_divslack_ms=50 val_lightspeed=1 \
+         val_tivfactor=8 val_tivmin_ms=5\n\
+         m\t0\t1\t12.5\t1000000000\n\
+         m\t1\t2\t30.25\t2000000000\n\
+         f\t0\t3\t2\t9000000000\n\
+         h\t0\t0.95\t2000000000\n\
+         h\t3\t0.2\t9000000000\n\
+         q\t3\t9000000000\t10800000000000\n",
+    ))
+}
+
+/// The canonical serialization of the handwritten state: whatever
+/// `to_checkpoint` itself emits after one parse.
+fn canonical_v2() -> String {
+    Scanner::from_checkpoint(&handwritten_v2())
+        .expect("handwritten v2 checkpoint must parse")
+        .to_checkpoint()
+}
+
+#[test]
+fn v2_roundtrip_is_exact_including_health_state() {
+    let scanner = Scanner::from_checkpoint(&handwritten_v2()).unwrap();
+    let health = scanner.health().expect("health=1 restores the model");
+    assert!(health.is_quarantined(netsim::NodeId(3)));
+    assert!(!health.is_quarantined(netsim::NodeId(0)));
+    // Serialize → parse → serialize is a fixed point, byte for byte.
+    let ck = scanner.to_checkpoint();
+    let again = Scanner::from_checkpoint(&ck).unwrap().to_checkpoint();
+    assert_eq!(ck, again);
+}
+
+#[test]
+fn v1_checkpoints_still_load() {
+    let v1 = "# ting scan checkpoint v1\n\
+              # nodes: 0 1 2\n\
+              # config: staleness_ns=1000000000000 pairs_per_round=5 \
+              retry_backoff_ns=1000000000 retry_backoff_cap_ns=2000000000\n\
+              m\t0\t1\t10\t1000000000\n\
+              f\t1\t2\t1\t5000000000\n";
+    let scanner = Scanner::from_checkpoint(v1).expect("v1 must stay loadable");
+    assert_eq!(
+        scanner.matrix().get(netsim::NodeId(0), netsim::NodeId(1)),
+        Some(10.0)
+    );
+    assert!(scanner.health().is_none(), "v1 predates the health model");
+}
+
+#[test]
+fn v1_rejects_v2_only_lines() {
+    // Health state in a v1 document is corruption, not forward compat.
+    let v1 = "# ting scan checkpoint v1\n\
+              # nodes: 0 1\n\
+              # config: staleness_ns=1000000000000 pairs_per_round=5 \
+              retry_backoff_ns=1000000000 retry_backoff_cap_ns=2000000000\n\
+              h\t0\t0.5\t1000000000\n";
+    assert!(Scanner::from_checkpoint(v1).is_err());
+    let v1_health_key = "# ting scan checkpoint v1\n\
+                         # nodes: 0 1\n\
+                         # config: staleness_ns=1000000000000 pairs_per_round=5 \
+                         retry_backoff_ns=1000000000 retry_backoff_cap_ns=2000000000 health=0\n";
+    assert!(Scanner::from_checkpoint(v1_health_key).is_err());
+}
+
+#[test]
+fn unknown_config_keys_error_loudly_naming_the_key() {
+    let doc = seal(String::from(
+        "# ting scan checkpoint v2\n\
+         # nodes: 0 1\n\
+         # config: staleness_ns=1000000000000 pairs_per_round=5 \
+         retry_backoff_ns=1000000000 retry_backoff_cap_ns=2000000000 \
+         health=0 val=0 frobnicate=3\n",
+    ));
+    let err = match Scanner::from_checkpoint(&doc) {
+        Err(e) => e,
+        Ok(_) => panic!("unknown config key must be refused"),
+    };
+    assert!(
+        err.contains("frobnicate"),
+        "error must name the unknown key, got: {err}"
+    );
+}
+
+#[test]
+fn unknown_versions_are_refused() {
+    let doc = seal(String::from(
+        "# ting scan checkpoint v3\n# nodes: 0 1\n# config: staleness_ns=1\n",
+    ));
+    assert!(Scanner::from_checkpoint(&doc).is_err());
+}
+
+#[test]
+fn save_promotes_backup_and_recover_falls_back() {
+    let dir = std::env::temp_dir().join(format!("ting-ckpt-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scan.ckpt");
+
+    let gen1 = Scanner::from_checkpoint(&handwritten_v2()).unwrap();
+    gen1.save(&path).unwrap();
+    let gen1_text = std::fs::read_to_string(&path).unwrap();
+
+    // A second save promotes the first generation to `.bak`.
+    let mut gen2 = Scanner::from_checkpoint(&gen1_text).unwrap();
+    gen2.set_node_location(netsim::NodeId(0), geo::GeoPoint::new(0.0, 0.0));
+    gen2.save(&path).unwrap();
+    assert_eq!(std::fs::read_to_string(bak_path(&path)).unwrap(), gen1_text);
+
+    // A healthy primary wins.
+    assert_eq!(
+        Scanner::recover(&path).unwrap().to_checkpoint(),
+        gen2.to_checkpoint()
+    );
+
+    // Corrupt the primary: recover falls back to the `.bak` generation.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(
+        Scanner::load(&path).is_err(),
+        "corrupt primary must not load"
+    );
+    assert_eq!(Scanner::recover(&path).unwrap().to_checkpoint(), gen1_text);
+
+    // Both gone: the primary's error surfaces.
+    std::fs::remove_file(bak_path(&path)).unwrap();
+    assert!(Scanner::recover(&path).is_err());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Flipping any byte of a sealed v2 checkpoint either fails the
+    /// load or (for the rare flip that leaves the document equivalent,
+    /// e.g. a hex-case flip inside the CRC trailer) reproduces the
+    /// exact same scanner state — never a silently different one.
+    #[test]
+    fn flipped_bytes_never_load_different_state(pos in 0usize..8192, flip in 0u8..255) {
+        let sealed = canonical_v2();
+        let pos = pos % sealed.len();
+        let mut bytes = sealed.clone().into_bytes();
+        bytes[pos] ^= flip + 1; // 1..=255: always a real change
+        if let Ok(corrupt) = String::from_utf8(bytes) {
+            match Scanner::from_checkpoint(&corrupt) {
+                Err(_) => {}
+                Ok(s) => prop_assert_eq!(s.to_checkpoint(), sealed),
+            }
+        }
+    }
+
+    /// Truncating a sealed v2 checkpoint anywhere (beyond losing only
+    /// the final newline) always fails the load.
+    #[test]
+    fn truncations_never_load(cut in 0usize..8192) {
+        let sealed = canonical_v2();
+        let cut = cut % (sealed.len() - 1);
+        prop_assert!(Scanner::from_checkpoint(&sealed[..cut]).is_err());
+    }
+}

@@ -38,6 +38,7 @@ fn scan_config() -> ScannerConfig {
         pairs_per_round: 8,
         retry_backoff: SimDuration::from_secs(60),
         retry_backoff_cap: SimDuration::from_hours(1),
+        ..ScannerConfig::default()
     }
 }
 

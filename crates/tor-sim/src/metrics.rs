@@ -151,6 +151,11 @@ struct MeasurementInner {
     probes_timed_out: Cell<u64>,
     retries: Cell<u64>,
     pairs_requeued: Cell<u64>,
+    estimates_rejected: Cell<u64>,
+    estimates_flagged: Cell<u64>,
+    relays_quarantined: Cell<u64>,
+    relays_released: Cell<u64>,
+    probation_probes: Cell<u64>,
     /// Human-readable retry trace — one line per resilience event, in
     /// order. Deterministic runs produce identical traces.
     trace: RefCell<Vec<String>>,
@@ -173,6 +178,17 @@ pub struct MeasurementSnapshot {
     pub retries: u64,
     /// Scanner pairs put back on the queue under backoff.
     pub pairs_requeued: u64,
+    /// Estimates refused by validation (never cached); the reason code
+    /// is in the trace.
+    pub estimates_rejected: u64,
+    /// Estimates cached but flagged suspect by validation.
+    pub estimates_flagged: u64,
+    /// Relay quarantine entries (health score collapsed).
+    pub relays_quarantined: u64,
+    /// Relay quarantine releases (probation or decay).
+    pub relays_released: u64,
+    /// Probation probes scheduled for quarantined relays.
+    pub probation_probes: u64,
 }
 
 impl MeasurementMetrics {
@@ -202,6 +218,36 @@ impl MeasurementMetrics {
             .set(self.inner.pairs_requeued.get() + 1);
     }
 
+    pub fn on_estimate_rejected(&self) {
+        self.inner
+            .estimates_rejected
+            .set(self.inner.estimates_rejected.get() + 1);
+    }
+
+    pub fn on_estimate_flagged(&self) {
+        self.inner
+            .estimates_flagged
+            .set(self.inner.estimates_flagged.get() + 1);
+    }
+
+    pub fn on_relay_quarantined(&self) {
+        self.inner
+            .relays_quarantined
+            .set(self.inner.relays_quarantined.get() + 1);
+    }
+
+    pub fn on_relay_released(&self) {
+        self.inner
+            .relays_released
+            .set(self.inner.relays_released.get() + 1);
+    }
+
+    pub fn on_probation_probe(&self) {
+        self.inner
+            .probation_probes
+            .set(self.inner.probation_probes.get() + 1);
+    }
+
     /// Appends one line to the retry trace.
     pub fn trace(&self, line: String) {
         self.inner.trace.borrow_mut().push(line);
@@ -219,6 +265,11 @@ impl MeasurementMetrics {
             probes_timed_out: self.inner.probes_timed_out.get(),
             retries: self.inner.retries.get(),
             pairs_requeued: self.inner.pairs_requeued.get(),
+            estimates_rejected: self.inner.estimates_rejected.get(),
+            estimates_flagged: self.inner.estimates_flagged.get(),
+            relays_quarantined: self.inner.relays_quarantined.get(),
+            relays_released: self.inner.relays_released.get(),
+            probation_probes: self.inner.probation_probes.get(),
         }
     }
 }
