@@ -1,0 +1,93 @@
+//! The observability overhead gate.
+//!
+//! The `obs` layer's budget is ≤5% wall-clock overhead at `Metrics`
+//! level on the scan hot path. This binary runs the same all-pairs
+//! scan round alternately with observability off and at `Metrics`
+//! (interleaved, so CPU frequency drift hits both modes equally),
+//! takes the minimum wall time per mode, and **exits nonzero** when
+//! the instrumented run exceeds `off · 1.05 + 50 ms` — the absolute
+//! slack keeps sub-second smoke configurations from gating on noise.
+//!
+//! It also enforces the stronger determinism contract along the way:
+//! every mode (including one ungated `Trace` rep) must end in a
+//! bit-identical scanner checkpoint at the same virtual instant.
+//!
+//! Environment overrides: `TING_SEED`, `TING_RELAYS` (default 40),
+//! `TING_SAMPLES` (default 3), `TING_REPS` (default 3 per mode).
+
+use bench::{env_u64, env_usize, seed};
+use netsim::{NodeId, SimTime};
+use ting::obs::{Obs, ObsConfig};
+use ting::{Scanner, ScannerConfig, Ting, TingConfig};
+use tor_sim::TorNetworkBuilder;
+
+/// One scan round; returns (wall seconds, checkpoint, final instant).
+fn run_once(seed: u64, relays: usize, samples: usize, mode: ObsConfig) -> (f64, String, u64) {
+    let obs = Obs::new(mode);
+    let mut net = TorNetworkBuilder::live(seed, relays)
+        .observability(obs.clone())
+        .build();
+    let nodes: Vec<NodeId> = net.relays.clone();
+    let pairs = nodes.len() * (nodes.len() - 1) / 2;
+    let mut scanner = Scanner::new(
+        nodes,
+        ScannerConfig {
+            pairs_per_round: pairs,
+            ..ScannerConfig::default()
+        },
+    );
+    let ting = Ting::with_obs(TingConfig::with_samples(samples), obs);
+    let started = std::time::Instant::now();
+    scanner.run_round(&mut net, &ting);
+    let wall = started.elapsed().as_secs_f64();
+    (
+        wall,
+        scanner.to_checkpoint(),
+        (net.sim.now() - SimTime::ZERO).as_nanos(),
+    )
+}
+
+fn main() {
+    let relays = env_usize("TING_RELAYS", 40);
+    let samples = env_usize("TING_SAMPLES", 3);
+    let reps = env_usize("TING_REPS", 3).max(1);
+    let seed = env_u64("TING_SEED", seed());
+
+    let mut off_best = f64::INFINITY;
+    let mut metrics_best = f64::INFINITY;
+    let mut fingerprint: Option<(String, u64)> = None;
+    let mut check = |mode: &str, ckpt: String, now: u64| match &fingerprint {
+        None => fingerprint = Some((ckpt, now)),
+        Some((c, t)) => {
+            assert_eq!(*c, ckpt, "{mode} mode changed the scan outcome");
+            assert_eq!(*t, now, "{mode} mode changed the virtual clock");
+        }
+    };
+    for rep in 0..reps {
+        let (off, ckpt, now) = run_once(seed, relays, samples, ObsConfig::Off);
+        check("off", ckpt, now);
+        let (met, ckpt, now) = run_once(seed, relays, samples, ObsConfig::Metrics);
+        check("metrics", ckpt, now);
+        println!("# rep {rep}: off_s={off:.3} metrics_s={met:.3}");
+        off_best = off_best.min(off);
+        metrics_best = metrics_best.min(met);
+    }
+    let (trace_s, ckpt, now) = run_once(seed, relays, samples, ObsConfig::Trace);
+    check("trace", ckpt, now);
+
+    let budget = off_best * 1.05 + 0.05;
+    let overhead_pct = (metrics_best / off_best - 1.0) * 100.0;
+    println!("# obs_overhead: relays={relays} samples={samples} seed={seed} reps={reps}");
+    println!(
+        "off_s={off_best:.3} metrics_s={metrics_best:.3} trace_s={trace_s:.3} \
+         overhead_pct={overhead_pct:.1} budget_s={budget:.3}"
+    );
+    if metrics_best > budget {
+        eprintln!(
+            "FAIL: metrics-mode scan took {metrics_best:.3}s, over the \
+             5% overhead budget ({budget:.3}s; off={off_best:.3}s)"
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: instrumentation within the 5% overhead budget");
+}

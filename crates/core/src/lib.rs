@@ -45,7 +45,14 @@
 //!   estimates before they reach the cache;
 //! * [`checkpoint`] — CRC-sealed, atomically-written checkpoint
 //!   plumbing behind [`scanner::Scanner::save`]/`recover`;
-//! * [`backoff`] — the shared exponential/jittered backoff arithmetic.
+//! * [`backoff`] — the shared exponential/jittered backoff arithmetic;
+//! * [`obs`] (re-exported crate) — the unified observability layer:
+//!   counters, log-bucketed latency histograms, virtual-time trace
+//!   events and the deterministic JSONL exporter. Off by default;
+//!   enable via [`orchestrator::Ting::with_obs`] and
+//!   `TorNetworkBuilder::observability`.
+
+pub use obs;
 
 pub mod backoff;
 pub mod checkpoint;

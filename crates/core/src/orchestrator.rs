@@ -10,6 +10,7 @@ use crate::estimator::{CircuitSamples, TingMeasurement};
 use crate::sampling::SamplePolicy;
 use crate::timeout::{AdaptiveTimeoutConfig, TimeoutEstimators, TimeoutPhase};
 use netsim::{NodeId, SimDuration, SimTime};
+use obs::{Counter, Hist, Obs, Value};
 use tor_sim::{CircuitStatus, MeasurementMetrics, TorNetwork};
 
 /// Ting configuration.
@@ -113,6 +114,17 @@ impl TingError {
             }
         )
     }
+
+    /// A stable machine-readable code naming the variant — the suffix
+    /// of the `ting.error.<code>` observability counter each failure
+    /// increments.
+    pub fn code(&self) -> &'static str {
+        match self {
+            TingError::CircuitBuildFailed { .. } => "circuit_build_failed",
+            TingError::StreamFailed => "stream_failed",
+            TingError::ProbeLost => "probe_lost",
+        }
+    }
 }
 
 impl std::fmt::Display for TingError {
@@ -144,6 +156,36 @@ impl std::fmt::Display for TingError {
 
 impl std::error::Error for TingError {}
 
+/// Pre-resolved observability handles for the measurement hot path:
+/// per-phase latency histograms and failure counters. Each is a null
+/// check when observability is off.
+#[derive(Debug, Clone, Default)]
+struct TingObsHandles {
+    build_hist: Hist,
+    stream_hist: Hist,
+    probe_hist: Hist,
+    err_circuit: Counter,
+    err_stream: Counter,
+    err_probe: Counter,
+    retries: Counter,
+    probe_timeouts: Counter,
+}
+
+impl TingObsHandles {
+    fn new(obs: &Obs) -> TingObsHandles {
+        TingObsHandles {
+            build_hist: obs.hist_handle("ting.phase.build_us"),
+            stream_hist: obs.hist_handle("ting.phase.stream_us"),
+            probe_hist: obs.hist_handle("ting.phase.probe_us"),
+            err_circuit: obs.counter_handle("ting.error.circuit_build_failed"),
+            err_stream: obs.counter_handle("ting.error.stream_failed"),
+            err_probe: obs.counter_handle("ting.error.probe_lost"),
+            retries: obs.counter_handle("ting.retry"),
+            probe_timeouts: obs.counter_handle("ting.probe.timeout"),
+        }
+    }
+}
+
 /// The Ting measurement driver.
 #[derive(Debug, Clone, Default)]
 pub struct Ting {
@@ -154,15 +196,40 @@ pub struct Ting {
     /// Rolling per-phase duration estimators feeding the adaptive
     /// deadlines (inert unless `config.adaptive_timeouts` is set).
     pub timeouts: TimeoutEstimators,
+    /// Observability: per-phase histograms, failure counters, and (at
+    /// trace level) typed events. Off by default.
+    obs: Obs,
+    handles: TingObsHandles,
 }
 
 impl Ting {
     pub fn new(config: TingConfig) -> Ting {
+        Ting::with_obs(config, Obs::off())
+    }
+
+    /// A driver recording into `obs`. The scanner reaches the same
+    /// handle through [`Ting::obs`], so attaching it here instruments
+    /// the whole measurement path.
+    pub fn with_obs(config: TingConfig, obs: Obs) -> Ting {
         Ting {
             config,
             metrics: MeasurementMetrics::new(),
             timeouts: TimeoutEstimators::new(),
+            handles: TingObsHandles::new(&obs),
+            obs,
         }
+    }
+
+    /// Replaces the observability handle (e.g. after loading a driver
+    /// from persisted state).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.handles = TingObsHandles::new(&obs);
+        self.obs = obs;
+    }
+
+    /// The attached observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The effective deadline for `phase` in ms: the learned estimate
@@ -180,12 +247,76 @@ impl Ting {
         }
     }
 
-    /// Feeds a successful phase duration to the estimators (no-op with
-    /// adaptive timeouts disabled).
-    pub(crate) fn observe_phase_ms(&self, phase: TimeoutPhase, ms: f64) {
+    /// Records a completed phase at virtual instant `at`: the duration
+    /// enters the per-phase latency histogram (and, at trace level, a
+    /// `ting.phase` event), and feeds the adaptive-deadline estimators
+    /// when those are enabled.
+    pub(crate) fn observe_phase_ms(&self, phase: TimeoutPhase, ms: f64, at: SimTime) {
+        let hist = match phase {
+            TimeoutPhase::Build => &self.handles.build_hist,
+            TimeoutPhase::Stream => &self.handles.stream_hist,
+            TimeoutPhase::Probe => &self.handles.probe_hist,
+        };
+        hist.record_ms(ms);
+        if self.obs.is_tracing() {
+            self.obs.event(
+                "ting.phase",
+                at.as_nanos(),
+                vec![
+                    ("phase", Value::Str(Self::phase_name(phase).to_owned())),
+                    ("dur_us", Value::U64(obs::ms_to_us(ms))),
+                ],
+            );
+        }
         if let Some(cfg) = &self.config.adaptive_timeouts {
             self.timeouts.observe(phase, ms, cfg);
         }
+    }
+
+    fn phase_name(phase: TimeoutPhase) -> &'static str {
+        match phase {
+            TimeoutPhase::Build => "build",
+            TimeoutPhase::Stream => "stream",
+            TimeoutPhase::Probe => "probe",
+        }
+    }
+
+    /// Bumps the `ting.error.<code>` counter and, at trace level,
+    /// records a `ting.error` event. Called at every failure creation
+    /// site (sequential and interleaved), so retried failures count
+    /// each time they occur.
+    pub(crate) fn observe_error(&self, err: &TingError, at: SimTime) {
+        match err {
+            TingError::CircuitBuildFailed { .. } => self.handles.err_circuit.inc(),
+            TingError::StreamFailed => self.handles.err_stream.inc(),
+            TingError::ProbeLost => self.handles.err_probe.inc(),
+        }
+        if self.obs.is_tracing() {
+            self.obs.event(
+                "ting.error",
+                at.as_nanos(),
+                vec![("code", Value::Str(err.code().to_owned()))],
+            );
+        }
+    }
+
+    /// Bumps the retry counter and, at trace level, records a
+    /// `ting.retry` event.
+    pub(crate) fn observe_retry(&self, attempt: u32, at: SimTime) {
+        self.handles.retries.inc();
+        if self.obs.is_tracing() {
+            self.obs.event(
+                "ting.retry",
+                at.as_nanos(),
+                vec![("attempt", Value::U64(u64::from(attempt)))],
+            );
+        }
+    }
+
+    /// Bumps the probe-timeout counter (kept next to
+    /// `MeasurementMetrics::on_probe_timed_out` at both call sites).
+    pub(crate) fn observe_probe_timeout(&self) {
+        self.handles.probe_timeouts.inc();
     }
 
     /// Measures `R(x, y)` per §3.3: the three circuits, minima, Eq. (4).
@@ -244,6 +375,7 @@ impl Ting {
             if attempt > 1 {
                 let pause_ms = self.backoff_ms(&path, attempt - 1);
                 self.metrics.on_retry();
+                self.observe_retry(attempt, net.sim.now());
                 self.metrics.trace(format!(
                     "retry attempt={attempt} path={:?} backoff_ms={pause_ms:.1}",
                     path.iter().map(|n| n.0).collect::<Vec<_>>()
@@ -293,11 +425,14 @@ impl Ting {
                 path.iter().map(|n| n.0).collect::<Vec<_>>()
             ));
             net.controller.close_circuit(&mut net.sim, circuit);
-            return Err(TingError::CircuitBuildFailed { path, permanent });
+            let err = TingError::CircuitBuildFailed { path, permanent };
+            self.observe_error(&err, net.sim.now());
+            return Err(err);
         }
         self.observe_phase_ms(
             TimeoutPhase::Build,
             net.sim.now().since(build_started).as_millis_f64(),
+            net.sim.now(),
         );
         let echo = net.echo_server;
         let open_started = net.sim.now();
@@ -309,11 +444,13 @@ impl Ting {
             self.metrics
                 .trace(format!("stream_failed circuit={}", circuit.0));
             net.controller.close_circuit(&mut net.sim, circuit);
+            self.observe_error(&TingError::StreamFailed, net.sim.now());
             return Err(TingError::StreamFailed);
         };
         self.observe_phase_ms(
             TimeoutPhase::Stream,
             net.sim.now().since(open_started).as_millis_f64(),
+            net.sim.now(),
         );
 
         let mut samples: Vec<f64> = Vec::new();
@@ -334,17 +471,19 @@ impl Ting {
                 probe_deadline,
             ) {
                 Some(rtt) => {
-                    self.observe_phase_ms(TimeoutPhase::Probe, rtt);
+                    self.observe_phase_ms(TimeoutPhase::Probe, rtt, net.sim.now());
                     samples.push(rtt);
                 }
                 None => {
                     lost += 1;
                     self.metrics.on_probe_timed_out();
+                    self.observe_probe_timeout();
                     if lost > self.config.max_lost_probes {
                         self.metrics
                             .trace(format!("probes_lost circuit={} lost={lost}", circuit.0));
                         net.controller.close_stream(&mut net.sim, stream);
                         net.controller.close_circuit(&mut net.sim, circuit);
+                        self.observe_error(&TingError::ProbeLost, net.sim.now());
                         return Err(TingError::ProbeLost);
                     }
                 }

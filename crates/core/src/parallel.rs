@@ -156,6 +156,7 @@ impl PairTask {
         let pause_ms = ting.backoff_ms(&path, self.attempt);
         self.attempt += 1;
         ting.metrics.on_retry();
+        ting.observe_retry(self.attempt, sim.now());
         ting.metrics.trace(format!(
             "retry attempt={} path={:?} backoff_ms={pause_ms:.1}",
             self.attempt,
@@ -221,6 +222,7 @@ impl PairTask {
                         ting.observe_phase_ms(
                             TimeoutPhase::Build,
                             sim.now().since(self.build_started).as_millis_f64(),
+                            sim.now(),
                         );
                         self.open_started = sim.now();
                         let deadline =
@@ -246,11 +248,9 @@ impl PairTask {
                             path.iter().map(|n| n.0).collect::<Vec<_>>()
                         ));
                         ctl.close_circuit(sim, circuit);
-                        self.fail_attempt(
-                            sim,
-                            ting,
-                            TingError::CircuitBuildFailed { path, permanent },
-                        );
+                        let err = TingError::CircuitBuildFailed { path, permanent };
+                        ting.observe_error(&err, sim.now());
+                        self.fail_attempt(sim, ting, err);
                     }
                 },
                 TaskState::Opening {
@@ -262,6 +262,7 @@ impl PairTask {
                         ting.observe_phase_ms(
                             TimeoutPhase::Stream,
                             sim.now().since(self.open_started).as_millis_f64(),
+                            sim.now(),
                         );
                         self.send_probe(sim, ctl, ting, circuit, stream);
                     }
@@ -274,6 +275,7 @@ impl PairTask {
                         ting.metrics
                             .trace(format!("stream_failed circuit={}", circuit.0));
                         ctl.close_circuit(sim, circuit);
+                        ting.observe_error(&TingError::StreamFailed, sim.now());
                         self.fail_attempt(sim, ting, TingError::StreamFailed);
                     }
                 },
@@ -302,7 +304,7 @@ impl PairTask {
                         .next_back();
                     match echoed {
                         Some(rtt) => {
-                            ting.observe_phase_ms(TimeoutPhase::Probe, rtt);
+                            ting.observe_phase_ms(TimeoutPhase::Probe, rtt, sim.now());
                             self.samples.push(rtt);
                             if ting.config.policy.wants_more(&self.samples) {
                                 self.pause_or_probe(sim, ctl, ting, circuit, stream);
@@ -317,6 +319,7 @@ impl PairTask {
                             idle = false;
                             self.lost += 1;
                             ting.metrics.on_probe_timed_out();
+                            ting.observe_probe_timeout();
                             if self.lost > ting.config.max_lost_probes {
                                 ting.metrics.trace(format!(
                                     "probes_lost circuit={} lost={}",
@@ -324,6 +327,7 @@ impl PairTask {
                                 ));
                                 ctl.close_stream(sim, stream);
                                 ctl.close_circuit(sim, circuit);
+                                ting.observe_error(&TingError::ProbeLost, sim.now());
                                 self.fail_attempt(sim, ting, TingError::ProbeLost);
                             } else {
                                 self.pause_or_probe(sim, ctl, ting, circuit, stream);

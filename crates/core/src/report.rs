@@ -17,8 +17,10 @@ use std::fmt::Write as _;
 /// congestion floors; such a value is a measurement artifact, not an
 /// RTT. Shared by the campaign audit below and by
 /// [`crate::scanner::Scanner`], which refuses to cache such estimates.
+/// NaN (an artifact of degenerate sampling) counts as implausible too —
+/// a plain `< 0.05` would let it slip into the cache.
 pub fn implausibly_low(estimate_ms: f64) -> bool {
-    estimate_ms < 0.05
+    estimate_ms.is_nan() || estimate_ms < 0.05
 }
 
 /// Quality flags a campaign can raise about individual pairs.
@@ -210,5 +212,40 @@ mod tests {
         let r = CampaignReport::build(&m, &[]);
         assert_eq!(r.pairs_expected, 0);
         assert_eq!(r.coverage(), 1.0);
+    }
+
+    #[test]
+    fn implausibly_low_boundary_values() {
+        // The gate is exactly `< 0.05 ms` with NaN on the implausible
+        // side: estimates at the threshold pass, anything below — or
+        // not a number at all — is refused.
+        assert!(!implausibly_low(0.05));
+        assert!(!implausibly_low(0.050001));
+        assert!(!implausibly_low(100.0));
+        assert!(!implausibly_low(f64::INFINITY));
+        assert!(implausibly_low(0.049999));
+        assert!(implausibly_low(0.0));
+        assert!(implausibly_low(-0.0));
+        assert!(implausibly_low(-25.0));
+        assert!(implausibly_low(f64::NEG_INFINITY));
+        assert!(implausibly_low(f64::NAN));
+    }
+
+    #[test]
+    fn zero_node_matrix_report_has_no_nans() {
+        // n = 0: no nodes at all. Every statistic must degrade to a
+        // finite placeholder and render without panicking.
+        let m = RttMatrix::new(vec![]);
+        let r = CampaignReport::build(&m, &[]);
+        assert_eq!(r.pairs_measured, 0);
+        assert_eq!(r.pairs_expected, 0);
+        assert_eq!(r.coverage(), 1.0);
+        assert!(r.rtt_min_ms.is_finite());
+        assert!(r.rtt_median_ms.is_finite());
+        assert!(r.rtt_max_ms.is_finite());
+        assert!(r.mean_rtt_ms.is_finite());
+        let text = r.render();
+        assert!(text.contains("coverage : 0/0 pairs (100.0%)"));
+        assert!(!text.contains("NaN"));
     }
 }

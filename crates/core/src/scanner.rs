@@ -14,9 +14,10 @@ use crate::matrix::RttMatrix;
 use crate::orchestrator::{Ting, TingError};
 use crate::parallel::measure_interleaved;
 use crate::queue::WorkQueue;
-use crate::validate::{validate, ValidationConfig, ValidationContext, Verdict};
+use crate::validate::{validate, ValidationConfig, ValidationContext, ValidationError, Verdict};
 use geo::GeoPoint;
 use netsim::{NodeId, SimDuration, SimTime};
+use obs::Value;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use tor_sim::TorNetwork;
@@ -215,6 +216,18 @@ impl Scanner {
                 "implausible_estimate a={} b={} est_ms={est:.3}",
                 a.0, b.0
             ));
+            ting.obs().inc("ting.estimate.implausible");
+            if ting.obs().is_tracing() {
+                ting.obs().event(
+                    "validate.implausible",
+                    now.as_nanos(),
+                    vec![
+                        ("a", Value::U64(a.0 as u64)),
+                        ("b", Value::U64(b.0 as u64)),
+                        ("est_ms", Value::F64(est)),
+                    ],
+                );
+            }
             self.record_failure(a, b, now, ting);
             return false;
         }
@@ -229,6 +242,15 @@ impl Scanner {
                         b.0,
                         e.code()
                     ));
+                    self.observe_verdict(
+                        "validate.flag",
+                        "ting.validate.flag",
+                        a,
+                        b,
+                        &e,
+                        now,
+                        ting,
+                    );
                 }
                 Verdict::Reject(e) => {
                     ting.metrics.on_estimate_rejected();
@@ -238,6 +260,15 @@ impl Scanner {
                         b.0,
                         e.code()
                     ));
+                    self.observe_verdict(
+                        "validate.reject",
+                        "ting.validate.reject",
+                        a,
+                        b,
+                        &e,
+                        now,
+                        ting,
+                    );
                     self.record_failure(a, b, now, ting);
                     return false;
                 }
@@ -248,6 +279,38 @@ impl Scanner {
         self.pending_retry.remove(&key(a, b));
         self.queue.on_measured(a, b, now);
         true
+    }
+
+    /// Records one validation verdict into the obs registry: a
+    /// per-reason counter (`<counter_base>.<code>`) and, when tracing,
+    /// a typed event naming the pair and reason code.
+    #[allow(clippy::too_many_arguments)]
+    fn observe_verdict(
+        &self,
+        event_name: &'static str,
+        counter_base: &str,
+        a: NodeId,
+        b: NodeId,
+        e: &ValidationError,
+        now: SimTime,
+        ting: &Ting,
+    ) {
+        let obs = ting.obs();
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.inc(&format!("{counter_base}.{}", e.code()));
+        if obs.is_tracing() {
+            obs.event(
+                event_name,
+                now.as_nanos(),
+                vec![
+                    ("a", Value::U64(a.0 as u64)),
+                    ("b", Value::U64(b.0 as u64)),
+                    ("code", Value::Str(e.code().to_owned())),
+                ],
+            );
+        }
     }
 
     /// Assembles what [`crate::validate::validate`] needs to know about
@@ -291,12 +354,31 @@ impl Scanner {
                 ting.metrics.on_relay_quarantined();
                 ting.metrics
                     .trace(format!("relay_quarantined node={}", n.0));
+                ting.obs().inc("ting.health.quarantined");
+                if ting.obs().is_tracing() {
+                    ting.obs().event(
+                        "health.quarantine",
+                        now.as_nanos(),
+                        vec![("node", Value::U64(n.0 as u64))],
+                    );
+                }
             }
             Some(HealthEvent::Released(n)) => {
                 self.queue.release(n);
                 ting.metrics.on_relay_released();
                 ting.metrics
                     .trace(format!("relay_released node={} reason=probation", n.0));
+                ting.obs().inc("ting.health.released.probation");
+                if ting.obs().is_tracing() {
+                    ting.obs().event(
+                        "health.release",
+                        now.as_nanos(),
+                        vec![
+                            ("node", Value::U64(n.0 as u64)),
+                            ("reason", Value::Str("probation".to_owned())),
+                        ],
+                    );
+                }
             }
             None => {}
         }
@@ -356,6 +438,17 @@ impl Scanner {
                 ting.metrics.on_relay_released();
                 ting.metrics
                     .trace(format!("relay_released node={} reason=decay", n.0));
+                ting.obs().inc("ting.health.released.decay");
+                if ting.obs().is_tracing() {
+                    ting.obs().event(
+                        "health.release",
+                        now.as_nanos(),
+                        vec![
+                            ("node", Value::U64(n.0 as u64)),
+                            ("reason", Value::Str("decay".to_owned())),
+                        ],
+                    );
+                }
             }
             for n in h.due_probes(now) {
                 if plan.len() >= cap {
@@ -368,6 +461,18 @@ impl Scanner {
                     ting.metrics.on_probation_probe();
                     ting.metrics
                         .trace(format!("probation_probe node={} a={} b={}", n.0, a.0, b.0));
+                    ting.obs().inc("ting.health.probation_probe");
+                    if ting.obs().is_tracing() {
+                        ting.obs().event(
+                            "health.probe",
+                            now.as_nanos(),
+                            vec![
+                                ("node", Value::U64(n.0 as u64)),
+                                ("a", Value::U64(a.0 as u64)),
+                                ("b", Value::U64(b.0 as u64)),
+                            ],
+                        );
+                    }
                     plan.push((a, b));
                 }
             }
@@ -375,6 +480,62 @@ impl Scanner {
         let remaining = cap.saturating_sub(plan.len());
         plan.extend(self.queue.plan(now, remaining));
         plan
+    }
+
+    /// Opens the per-pair measurement span (trace mode only; under
+    /// `Metrics` the cost is one branch).
+    fn observe_pair_begin(&self, a: NodeId, b: NodeId, now: SimTime, ting: &Ting) -> obs::SpanId {
+        if !ting.obs().is_tracing() {
+            return obs::SpanId(0);
+        }
+        ting.obs().span_begin(
+            "scan.pair.begin",
+            now.as_nanos(),
+            vec![("a", Value::U64(a.0 as u64)), ("b", Value::U64(b.0 as u64))],
+        )
+    }
+
+    /// Closes the per-pair measurement span. `Ok(accepted)` is a
+    /// completed measurement (accepted or rejected by validation);
+    /// `Err` carries the pipeline error's stable reason code.
+    fn observe_pair_end(
+        &self,
+        span: obs::SpanId,
+        outcome: Result<bool, &TingError>,
+        now: SimTime,
+        ting: &Ting,
+    ) {
+        if !ting.obs().is_tracing() {
+            return;
+        }
+        let outcome = match outcome {
+            Ok(true) => "accepted",
+            Ok(false) => "rejected",
+            Err(e) => e.code(),
+        };
+        ting.obs().span_end(
+            "scan.pair.end",
+            span,
+            now.as_nanos(),
+            vec![("outcome", Value::Str(outcome.to_owned()))],
+        );
+    }
+
+    /// Closes the scan-round span with the round's tallies.
+    fn observe_round_end(&self, span: obs::SpanId, report: RoundReport, now: SimTime, ting: &Ting) {
+        if !ting.obs().is_tracing() {
+            return;
+        }
+        ting.obs().span_end(
+            "scan.round.end",
+            span,
+            now.as_nanos(),
+            vec![
+                ("measured", Value::U64(report.measured as u64)),
+                ("failed", Value::U64(report.failed as u64)),
+                ("still_pending", Value::U64(report.still_pending as u64)),
+            ],
+        );
     }
 
     /// Re-queues a failed pair under exponential backoff.
@@ -394,6 +555,7 @@ impl Scanner {
             "pair_requeued a={} b={} attempts={attempts}",
             a.0, b.0
         ));
+        ting.obs().inc("ting.pair_requeued");
     }
 
     /// Executes one round against the network. Failed measurements
@@ -408,17 +570,25 @@ impl Scanner {
     /// at [`ScannerConfig::pairs_per_round`].
     pub fn run_round(&mut self, net: &mut TorNetwork, ting: &Ting) -> RoundReport {
         let plan = self.plan_round_healthy(net.sim.now(), ting);
+        let round = ting.obs().span_begin(
+            "scan.round.begin",
+            net.sim.now().as_nanos(),
+            vec![("planned", Value::U64(plan.len() as u64))],
+        );
         let mut measured = 0;
         let mut failed = 0;
         for (a, b) in plan {
+            let pair_span = self.observe_pair_begin(a, b, net.sim.now(), ting);
             match ting.measure_pair(net, a, b) {
                 Ok(m) => {
                     self.note_pair_outcome(a, b, Ok(()), net.sim.now(), ting);
-                    if self.record_success(a, b, &m, net.sim.now(), ting) {
+                    let accepted = self.record_success(a, b, &m, net.sim.now(), ting);
+                    if accepted {
                         measured += 1;
                     } else {
                         failed += 1;
                     }
+                    self.observe_pair_end(pair_span, Ok(accepted), net.sim.now(), ting);
                 }
                 Err(
                     ref e @ (TingError::CircuitBuildFailed { .. }
@@ -428,14 +598,17 @@ impl Scanner {
                     failed += 1;
                     self.note_pair_outcome(a, b, Err(e), net.sim.now(), ting);
                     self.record_failure(a, b, net.sim.now(), ting);
+                    self.observe_pair_end(pair_span, Err(e), net.sim.now(), ting);
                 }
             }
         }
-        RoundReport {
+        let report = RoundReport {
             measured,
             failed,
             still_pending: self.queue.backlog(net.sim.now()),
-        }
+        };
+        self.observe_round_end(round, report, net.sim.now(), ting);
+        report
     }
 
     /// Executes one round with the round's pairs sharded round-robin
@@ -455,6 +628,14 @@ impl Scanner {
             return self.run_round(net, ting);
         }
         let plan = self.plan_round_healthy(net.sim.now(), ting);
+        let round = ting.obs().span_begin(
+            "scan.round.begin",
+            net.sim.now().as_nanos(),
+            vec![
+                ("planned", Value::U64(plan.len() as u64)),
+                ("vantages", Value::U64(k as u64)),
+            ],
+        );
         let assignments: Vec<(usize, NodeId, NodeId)> = plan
             .iter()
             .enumerate()
@@ -472,11 +653,16 @@ impl Scanner {
                         outcome.completed_at,
                         ting,
                     );
-                    if self.record_success(outcome.x, outcome.y, &m, outcome.completed_at, ting) {
+                    let accepted =
+                        self.record_success(outcome.x, outcome.y, &m, outcome.completed_at, ting);
+                    if accepted {
                         measured += 1;
                     } else {
                         failed += 1;
                     }
+                    let span =
+                        self.observe_pair_begin(outcome.x, outcome.y, outcome.completed_at, ting);
+                    self.observe_pair_end(span, Ok(accepted), outcome.completed_at, ting);
                 }
                 Err(ref e) => {
                     failed += 1;
@@ -488,21 +674,26 @@ impl Scanner {
                         ting,
                     );
                     self.record_failure(outcome.x, outcome.y, outcome.completed_at, ting);
+                    let span =
+                        self.observe_pair_begin(outcome.x, outcome.y, outcome.completed_at, ting);
+                    self.observe_pair_end(span, Err(e), outcome.completed_at, ting);
                 }
             }
         }
-        RoundReport {
+        let report = RoundReport {
             measured,
             failed,
             still_pending: self.queue.backlog(net.sim.now()),
-        }
+        };
+        self.observe_round_end(round, report, net.sim.now(), ting);
+        report
     }
 
     /// Fraction of pairs currently covered by a (possibly stale) cache
     /// entry.
     pub fn coverage(&self) -> f64 {
         let n = self.matrix.len();
-        let total = n * (n - 1) / 2;
+        let total = n * n.saturating_sub(1) / 2;
         if total == 0 {
             return 1.0;
         }

@@ -1,0 +1,180 @@
+//! Golden-trace determinism tests for the observability layer.
+//!
+//! The contract `obs` pins across the whole stack:
+//!
+//! 1. a fixed-seed scan exports **byte-identical** JSONL across runs —
+//!    the trace is a pure function of seed + config;
+//! 2. attaching observability (at any level) never changes behaviour —
+//!    an `Off` run, a `Metrics` run, and a `Trace` run of the same
+//!    campaign end in bit-identical scanner checkpoints at the same
+//!    virtual instant;
+//! 3. the `K = 1` parallel engine logs event-for-event equal to the
+//!    sequential orchestrator (the scanner delegates, and the raw
+//!    interleaved engine keeps the same build/stream skeleton).
+
+use netsim::{FaultPlan, NodeId, SimDuration};
+use ting::obs::{config_hash, Event, ExportMeta, Obs, ObsConfig, Value};
+use ting::{measure_interleaved, Scanner, ScannerConfig, Ting, TingConfig};
+use tor_sim::{TorNetwork, TorNetworkBuilder};
+
+const SEED: u64 = 0x601d;
+
+fn meta(seed: u64) -> ExportMeta {
+    ExportMeta {
+        seed,
+        config_hash: config_hash("golden-trace-v1"),
+    }
+}
+
+/// Runs one short, fault-laden scan campaign with every layer
+/// instrumented at `mode`, returning the exported JSONL plus the
+/// behavioural fingerprint (checkpoint text, final virtual instant).
+fn traced_scan(seed: u64, mode: ObsConfig) -> (String, String, u64) {
+    let obs = Obs::new(mode);
+    let mut net = TorNetworkBuilder::live(seed, 10)
+        .fault_plan(FaultPlan::new(seed ^ 0x7).with_link_loss(0.004))
+        .observability(obs.clone())
+        .build();
+    let nodes: Vec<NodeId> = net.relays.clone();
+    let ting = Ting::with_obs(TingConfig::fast(), obs.clone());
+    let mut scanner = Scanner::new(
+        nodes,
+        ScannerConfig {
+            pairs_per_round: 20,
+            retry_backoff: SimDuration::from_secs(60),
+            ..ScannerConfig::default()
+        },
+    );
+    scanner.load_locations(&net);
+    for _ in 0..3 {
+        scanner.run_round(&mut net, &ting);
+        let next = net.sim.now() + SimDuration::from_secs(120);
+        net.sim.advance_to(next);
+    }
+    net.publish_relay_totals();
+    (
+        obs.export_jsonl(&meta(seed)),
+        scanner.to_checkpoint(),
+        net.sim.now().as_nanos(),
+    )
+}
+
+/// Contract 1: same seed → byte-identical JSONL; different seed →
+/// a different document.
+#[test]
+fn fixed_seed_scan_exports_byte_identical_jsonl() {
+    let (a, _, _) = traced_scan(SEED, ObsConfig::Trace);
+    let (b, _, _) = traced_scan(SEED, ObsConfig::Trace);
+    assert_eq!(a, b, "same seed must export byte-identical JSONL");
+    let (c, _, _) = traced_scan(SEED + 1, ObsConfig::Trace);
+    assert_ne!(a, c, "a different seed must produce a different trace");
+}
+
+/// The export really is the *unified* layer: one document carries
+/// netsim fault/link counters, tor-sim relay gauges, orchestrator
+/// phase histograms, and scanner round spans.
+#[test]
+fn export_covers_every_layer_of_the_stack() {
+    let (doc, _, _) = traced_scan(SEED, ObsConfig::Trace);
+    for needle in [
+        "\"counter\":\"net.delivers\"",
+        "\"counter\":\"net.conns_opened\"",
+        "\"gauge\":\"tor.relay.cells_processed\"",
+        "\"hist\":\"ting.phase.build_us\"",
+        "\"hist\":\"ting.phase.probe_us\"",
+        "\"event\":\"scan.round.begin\"",
+        "\"event\":\"scan.pair.end\"",
+        "\"event\":\"ting.phase\"",
+    ] {
+        assert!(doc.contains(needle), "export missing {needle}");
+    }
+}
+
+/// Contract 2: observability is passive. The scan's outcome — the full
+/// checkpoint (cache, timestamps, backoff, health) and the virtual
+/// clock — is bit-identical whether obs is off, counting, or tracing.
+#[test]
+fn observability_level_never_changes_behaviour() {
+    let (_, off_ckpt, off_now) = traced_scan(SEED, ObsConfig::Off);
+    let (_, met_ckpt, met_now) = traced_scan(SEED, ObsConfig::Metrics);
+    let (_, trc_ckpt, trc_now) = traced_scan(SEED, ObsConfig::Trace);
+    assert_eq!(off_ckpt, met_ckpt, "Metrics mode perturbed the scan");
+    assert_eq!(off_ckpt, trc_ckpt, "Trace mode perturbed the scan");
+    assert_eq!(off_now, met_now);
+    assert_eq!(off_now, trc_now);
+}
+
+/// One scan round over a single-vantage network, sequentially or via
+/// the parallel entry point, exported as JSONL.
+fn k1_round(parallel: bool) -> String {
+    let obs = Obs::new(ObsConfig::Trace);
+    let mut net = TorNetworkBuilder::live(SEED, 8)
+        .observability(obs.clone())
+        .build();
+    let ting = Ting::with_obs(TingConfig::fast(), obs.clone());
+    let mut scanner = Scanner::new(net.relays.clone(), ScannerConfig::default());
+    let report = if parallel {
+        scanner.run_round_parallel(&mut net, &ting)
+    } else {
+        scanner.run_round(&mut net, &ting)
+    };
+    assert!(report.measured > 0);
+    obs.export_jsonl(&meta(SEED))
+}
+
+/// Contract 3a: with one vantage the parallel scanner *is* the
+/// sequential scanner — its trace is byte-for-byte the same document.
+#[test]
+fn parallel_k1_round_logs_identically_to_sequential() {
+    assert_eq!(k1_round(false), k1_round(true));
+}
+
+/// The build/stream structural skeleton of a trace: circuit-phase
+/// completions (probe excluded — its sampling interleaves differently
+/// under the raw engine), plus every error and retry event, in order.
+fn phase_skeleton(events: &[Event]) -> Vec<String> {
+    events
+        .iter()
+        .filter_map(|e| match e.name {
+            "ting.phase" => e.fields.iter().find_map(|(k, v)| match (k, v) {
+                (&"phase", Value::Str(s)) if s != "probe" => Some(format!("phase:{s}")),
+                _ => None,
+            }),
+            "ting.error" | "ting.retry" => Some(e.name.to_string()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Contract 3b: even the *raw* interleaved engine at `K = 1` walks the
+/// same circuit-phase skeleton as the sequential orchestrator: the same
+/// builds and stream-opens succeed, in the same order, with no extra
+/// errors or retries.
+#[test]
+fn interleaved_k1_phase_skeleton_matches_sequential() {
+    let pairs = |net: &TorNetwork| {
+        let n = &net.relays;
+        vec![(n[0], n[1]), (n[2], n[3]), (n[4], n[5])]
+    };
+
+    let obs_seq = Obs::new(ObsConfig::Trace);
+    let mut net_seq = TorNetworkBuilder::live(SEED, 8).build();
+    let ting_seq = Ting::with_obs(TingConfig::fast(), obs_seq.clone());
+    for (x, y) in pairs(&net_seq) {
+        ting_seq.measure_pair(&mut net_seq, x, y).unwrap();
+    }
+
+    let obs_par = Obs::new(ObsConfig::Trace);
+    let mut net_par = TorNetworkBuilder::live(SEED, 8).build();
+    let ting_par = Ting::with_obs(TingConfig::fast(), obs_par.clone());
+    let assignments: Vec<(usize, NodeId, NodeId)> = pairs(&net_par)
+        .into_iter()
+        .map(|(x, y)| (0usize, x, y))
+        .collect();
+    let outcomes = measure_interleaved(&mut net_par, &ting_par, &assignments);
+    assert!(outcomes.iter().all(|o| o.result.is_ok()));
+
+    let seq = phase_skeleton(&obs_seq.events());
+    assert!(!seq.is_empty());
+    assert_eq!(seq, phase_skeleton(&obs_par.events()));
+}

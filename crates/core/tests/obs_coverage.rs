@@ -1,0 +1,191 @@
+//! No silent error paths: every failure class the measurement pipeline
+//! can hit during a chaos round must surface in the exported metrics.
+//!
+//! The test drives a storm (crashed relays, link loss, stalls, relay
+//! overload, health + validation enabled) with observability at
+//! `Metrics`, then derives the set of resilience events that *actually
+//! occurred* from the pipeline's human-readable trace and checks each
+//! one against the `obs` registry: the matching counter is nonzero,
+//! its count agrees with the legacy [`MeasurementSnapshot`], and the
+//! JSONL export carries it.
+
+use netsim::{FaultPlan, NodeId, SimDuration, SimTime};
+use ting::obs::{config_hash, ExportMeta, Obs, ObsConfig};
+use ting::{
+    AdaptiveTimeoutConfig, HealthConfig, Scanner, ScannerConfig, Ting, TingConfig, ValidationConfig,
+};
+use tor_sim::TorNetworkBuilder;
+
+const SEED: u64 = 0x0b5e;
+
+/// Extracts `code=<x>` from a trace line.
+fn code_of(line: &str) -> &str {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix("code="))
+        .expect("trace line missing code=")
+}
+
+#[test]
+fn every_observed_failure_class_reaches_the_exported_metrics() {
+    let obs = Obs::new(ObsConfig::Metrics);
+    let mut net = TorNetworkBuilder::live(SEED, 12)
+        .fault_plan(
+            FaultPlan::new(SEED ^ 0x7)
+                .with_link_loss(0.004)
+                .with_stalls(0.001, 300.0),
+        )
+        .relay_faults(tor_sim::RelayFaultProfile {
+            extend_refuse_prob: 0.02,
+            overload_drop_prob: 0.002,
+            overload_queue_depth: 32,
+            seed: SEED ^ 0x9,
+        })
+        .observability(obs.clone())
+        .build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(8).collect();
+    // Two permanently dead relays guarantee circuit failures, retries,
+    // requeues, and quarantines occur.
+    net.crash_relay(nodes[2], None);
+    net.crash_relay(nodes[5], None);
+    let mut scanner = Scanner::new(
+        nodes,
+        ScannerConfig {
+            staleness: SimDuration::from_hours(24),
+            pairs_per_round: 8,
+            retry_backoff: SimDuration::from_secs(60),
+            retry_backoff_cap: SimDuration::from_hours(1),
+            health: Some(HealthConfig::default()),
+            validation: Some(ValidationConfig::default()),
+        },
+    );
+    scanner.load_locations(&net);
+    let ting = Ting::with_obs(
+        TingConfig {
+            max_attempts: 2,
+            max_lost_probes: 4,
+            adaptive_timeouts: Some(AdaptiveTimeoutConfig::default()),
+            ..TingConfig::fast()
+        },
+        obs.clone(),
+    );
+    for round in 0..40u64 {
+        let target = SimTime::ZERO + SimDuration::from_secs(round * 300);
+        if target > net.sim.now() {
+            net.sim.advance_to(target);
+        }
+        scanner.run_round(&mut net, &ting);
+    }
+
+    // Derive the classes that actually occurred from the trace, mapped
+    // to the obs counter each one must have incremented.
+    let mut expected: Vec<(String, u64)> = Vec::new();
+    let mut tally = |name: String| match expected.iter_mut().find(|(n, _)| *n == name) {
+        Some((_, count)) => *count += 1,
+        None => expected.push((name, 1)),
+    };
+    for line in ting.metrics.trace_lines() {
+        if line.starts_with("circuit_failed ") {
+            tally("ting.error.circuit_build_failed".into());
+        } else if line.starts_with("stream_failed ") {
+            tally("ting.error.stream_failed".into());
+        } else if line.starts_with("probes_lost ") {
+            tally("ting.error.probe_lost".into());
+        } else if line.starts_with("retry ") {
+            tally("ting.retry".into());
+        } else if line.starts_with("pair_requeued ") {
+            tally("ting.pair_requeued".into());
+        } else if line.starts_with("implausible_estimate ") {
+            tally("ting.estimate.implausible".into());
+        } else if line.starts_with("relay_quarantined ") {
+            tally("ting.health.quarantined".into());
+        } else if line.starts_with("relay_released ") && line.ends_with("reason=probation") {
+            tally("ting.health.released.probation".into());
+        } else if line.starts_with("relay_released ") && line.ends_with("reason=decay") {
+            tally("ting.health.released.decay".into());
+        } else if line.starts_with("probation_probe ") {
+            tally("ting.health.probation_probe".into());
+        } else if line.starts_with("estimate_rejected ") {
+            tally(format!("ting.validate.reject.{}", code_of(&line)));
+        } else if line.starts_with("estimate_flagged ") {
+            tally(format!("ting.validate.flag.{}", code_of(&line)));
+        }
+    }
+
+    // The storm must actually have exercised the interesting paths —
+    // otherwise the coverage assertion below is vacuous.
+    for must_occur in [
+        "ting.error.circuit_build_failed",
+        "ting.retry",
+        "ting.pair_requeued",
+        "ting.health.quarantined",
+    ] {
+        assert!(
+            expected.iter().any(|(n, _)| n == must_occur),
+            "storm too mild: {must_occur} never occurred"
+        );
+    }
+
+    // Every class that occurred is in the registry with the exact same
+    // count the trace shows, and in the JSONL export.
+    let doc = obs.export_jsonl(&ExportMeta {
+        seed: SEED,
+        config_hash: config_hash("obs-coverage-v1"),
+    });
+    for (name, count) in &expected {
+        assert_eq!(
+            obs.counter_value(name),
+            *count,
+            "counter {name} disagrees with the trace"
+        );
+        assert!(
+            doc.contains(&format!("{{\"counter\":\"{name}\",\"value\":{count}}}")),
+            "export missing counter {name}={count}"
+        );
+    }
+
+    // The legacy snapshot and the obs registry must agree everywhere
+    // they overlap — no path bumps one but not the other.
+    let snap = ting.metrics.snapshot();
+    assert_eq!(
+        snap.circuits_failed,
+        obs.counter_value("ting.error.circuit_build_failed")
+    );
+    assert_eq!(snap.retries, obs.counter_value("ting.retry"));
+    assert_eq!(snap.pairs_requeued, obs.counter_value("ting.pair_requeued"));
+    assert_eq!(
+        snap.probes_timed_out,
+        obs.counter_value("ting.probe.timeout")
+    );
+    assert_eq!(
+        snap.relays_quarantined,
+        obs.counter_value("ting.health.quarantined")
+    );
+    assert_eq!(
+        snap.relays_released,
+        obs.counter_value("ting.health.released.probation")
+            + obs.counter_value("ting.health.released.decay")
+    );
+    assert_eq!(
+        snap.probation_probes,
+        obs.counter_value("ting.health.probation_probe")
+    );
+    let sum_prefixed = |prefix: &str| {
+        obs.counters()
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum::<u64>()
+    };
+    assert_eq!(
+        snap.estimates_rejected,
+        sum_prefixed("ting.validate.reject.")
+    );
+    assert_eq!(snap.estimates_flagged, sum_prefixed("ting.validate.flag."));
+
+    // Per-phase latency histograms filled up alongside.
+    let build = obs
+        .histogram("ting.phase.build_us")
+        .expect("build histogram");
+    assert!(build.count() > 0);
+    assert!(build.quantile(0.5).unwrap() > 0);
+}

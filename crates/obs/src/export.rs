@@ -1,0 +1,172 @@
+//! Deterministic JSONL export of an observability registry.
+//!
+//! One line per record, in a fixed order: the `meta` header (format
+//! tag, seed, FNV-1a hash of the run configuration), then counters,
+//! gauges, and histograms in lexicographic name order, then the event
+//! log in emission order. Every map is a `BTreeMap` and every float is
+//! printed with `{}` (Rust's shortest exactly-roundtripping form), so
+//! two runs of the same seeded simulation export **byte-identical**
+//! documents — the golden-trace determinism contract.
+
+use crate::{Inner, ObsConfig, Value};
+use std::fmt::Write as _;
+
+/// 64-bit FNV-1a over raw bytes — the export's config fingerprint.
+/// Stable, dependency-free, and cheap; collision resistance is not a
+/// goal (the hash keys trace files to configs, it does not secure them).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprints a run-configuration description (any stable textual
+/// rendering of the config, e.g. a `Debug` format) for the meta header.
+pub fn config_hash(config_text: &str) -> u64 {
+    fnv1a64(config_text.as_bytes())
+}
+
+/// The identity of one exported run: everything needed to tie a trace
+/// file back to the simulation that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExportMeta {
+    /// The run's scenario seed.
+    pub seed: u64,
+    /// [`config_hash`] of the run configuration.
+    pub config_hash: u64,
+}
+
+/// Escapes `s` into `out` as JSON string contents (without the quotes).
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        // `{}` prints the shortest exactly-roundtripping decimal; a
+        // non-finite value has no JSON spelling and becomes null.
+        Value::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Str(s) => {
+            out.push('"');
+            push_json_escaped(out, s);
+            out.push('"');
+        }
+    }
+}
+
+/// Renders the full registry as JSONL (see module docs for the order).
+pub(crate) fn render_jsonl(inner: &Inner, meta: &ExportMeta) -> String {
+    let mut out = String::new();
+    let mode = match inner.config {
+        ObsConfig::Off => "off",
+        ObsConfig::Metrics => "metrics",
+        ObsConfig::Trace => "trace",
+    };
+    let _ = writeln!(
+        out,
+        "{{\"meta\":{{\"format\":\"ting-obs-v1\",\"mode\":\"{mode}\",\
+         \"seed\":{},\"config_hash\":\"{:016x}\"}}}}",
+        meta.seed, meta.config_hash
+    );
+    for (name, cell) in inner.counters.borrow().iter() {
+        let _ = write!(out, "{{\"counter\":\"");
+        push_json_escaped(&mut out, name);
+        let _ = writeln!(out, "\",\"value\":{}}}", cell.get());
+    }
+    for (name, value) in inner.gauges.borrow().iter() {
+        let _ = write!(out, "{{\"gauge\":\"");
+        push_json_escaped(&mut out, name);
+        let _ = writeln!(out, "\",\"value\":{value}}}");
+    }
+    for (name, hist) in inner.hists.borrow().iter() {
+        let h = hist.borrow();
+        let _ = write!(out, "{{\"hist\":\"");
+        push_json_escaped(&mut out, name);
+        let _ = write!(out, "\",\"count\":{}", h.count());
+        if h.count() > 0 {
+            let _ = write!(
+                out,
+                ",\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}",
+                h.min().unwrap(),
+                h.quantile(0.5).unwrap(),
+                h.quantile(0.9).unwrap(),
+                h.quantile(0.99).unwrap(),
+                h.max().unwrap()
+            );
+        }
+        out.push_str(",\"buckets\":[");
+        for (i, (lo, hi, n)) in h.buckets().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{lo},{hi},{n}]");
+        }
+        out.push_str("]}\n");
+    }
+    for ev in inner.events.borrow().iter() {
+        let _ = write!(out, "{{\"event\":\"");
+        push_json_escaped(&mut out, ev.name);
+        let _ = write!(out, "\",\"t_ns\":{}", ev.t_ns);
+        for (key, value) in &ev.fields {
+            let _ = write!(out, ",\"");
+            push_json_escaped(&mut out, key);
+            out.push_str("\":");
+            push_value(&mut out, value);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn escaping_covers_specials() {
+        let mut out = String::new();
+        push_json_escaped(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn floats_render_shortest_and_nonfinite_as_null() {
+        let mut out = String::new();
+        push_value(&mut out, &Value::F64(0.5));
+        out.push(' ');
+        push_value(&mut out, &Value::F64(f64::NAN));
+        assert_eq!(out, "0.5 null");
+    }
+}

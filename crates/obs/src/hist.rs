@@ -1,0 +1,289 @@
+//! Log-bucketed (HDR-style) integer histograms.
+//!
+//! Latency distributions span four orders of magnitude (a 50 µs local
+//! hop to a 30 s build timeout), which rules out fixed-width buckets.
+//! [`LogHistogram`] uses the HdrHistogram bucketing scheme: values
+//! below `2 · 2^g` (where `g` is the grouping-bits parameter) are
+//! counted exactly, and above that each power-of-two range is split
+//! into `2^g` sub-buckets, giving a bounded relative error of
+//! `2^-g` everywhere. With the default `g = 5` that is ~3% — more than
+//! enough to read a p99 off a phase-latency distribution.
+//!
+//! Counts live in a sparse `BTreeMap<bucket index, u64>`, so merging
+//! two histograms is **exact** integer addition — no re-sampling, no
+//! floating point. That is the property the parallel scanner needs:
+//! per-vantage histograms merge into a campaign histogram that is
+//! bit-identical to having recorded every value into one histogram in
+//! any order (merge is associative and commutative; a property test
+//! holds it to that).
+
+use std::collections::BTreeMap;
+
+/// A sparse log-bucketed histogram over `u64` values.
+///
+/// Units are the caller's business; the observability layer records
+/// durations in integer microseconds (see [`crate::ms_to_us`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Sub-bucket grouping bits `g`: each power-of-two range is split
+    /// into `2^g` sub-buckets; values below `2^(g+1)` are exact.
+    grouping_bits: u32,
+    /// Sparse bucket counts, keyed by bucket index.
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+    /// Exact extrema (`min > max` ⇔ empty).
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new(5)
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram with `grouping_bits` sub-bucket bits
+    /// (relative error ≤ `2^-grouping_bits`). Panics outside `1..=16`.
+    pub fn new(grouping_bits: u32) -> LogHistogram {
+        assert!(
+            (1..=16).contains(&grouping_bits),
+            "grouping_bits {grouping_bits} outside 1..=16"
+        );
+        LogHistogram {
+            grouping_bits,
+            counts: BTreeMap::new(),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    pub fn grouping_bits(&self) -> u32 {
+        self.grouping_bits
+    }
+
+    /// The bucket index covering `v`.
+    pub fn index_of(&self, v: u64) -> u32 {
+        let g = self.grouping_bits;
+        let sub = 1u64 << g;
+        if v < 2 * sub {
+            // Exact region: one value per bucket.
+            return v as u32;
+        }
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - g;
+        ((shift + 1) << g) + ((v >> shift) - sub) as u32
+    }
+
+    /// The inclusive `[lo, hi]` value range of bucket `index`.
+    pub fn bucket_bounds(&self, index: u32) -> (u64, u64) {
+        let g = self.grouping_bits;
+        let sub = 1u64 << g;
+        if u64::from(index) < 2 * sub {
+            return (u64::from(index), u64::from(index));
+        }
+        let block = index >> g; // ≥ 2 past the exact region
+        let shift = block - 1;
+        let rem = u64::from(index) & (sub - 1);
+        let lo = (sub + rem) << shift;
+        // `(1 << shift) - 1` first: the top bucket's `hi` is u64::MAX
+        // and `lo + (1 << shift)` would overflow before the subtract.
+        let hi = lo + ((1u64 << shift) - 1);
+        (lo, hi)
+    }
+
+    /// Records one observation of `v`.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` observations of `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(self.index_of(v)).or_insert(0) += n;
+        self.total += n;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += u128::from(v) * u128::from(n);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact minimum recorded value.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact mean of recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// The nearest-rank `q`-quantile, reported as the upper bound of
+    /// the bucket holding that rank, clamped to the recorded extrema
+    /// (so `quantile(0.0..=1.0)` always lies in `[min, max]` and is
+    /// monotone in `q`). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (&idx, &n) in &self.counts {
+            cum += n;
+            if cum >= rank {
+                return Some(self.bucket_bounds(idx).1.clamp(self.min, self.max));
+            }
+        }
+        unreachable!("rank {rank} beyond total {}", self.total)
+    }
+
+    /// Merges `other` into `self` by exact integer bucket addition.
+    /// Panics when the grouping bits differ (the bucket grids would
+    /// not line up).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(
+            self.grouping_bits, other.grouping_bits,
+            "merging histograms with different grouping bits"
+        );
+        for (&idx, &n) in &other.counts {
+            *self.counts.entry(idx).or_insert(0) += n;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Occupied buckets in value order, as `(lo, hi, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().map(|(&idx, &n)| {
+            let (lo, hi) = self.bucket_bounds(idx);
+            (lo, hi, n)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_is_exact() {
+        let mut h = LogHistogram::new(5);
+        for v in 0..64 {
+            h.record(v);
+        }
+        for v in 0..64u64 {
+            let (lo, hi) = h.bucket_bounds(h.index_of(v));
+            assert_eq!((lo, hi), (v, v));
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(63));
+    }
+
+    #[test]
+    fn buckets_bracket_and_bound_relative_error() {
+        let h = LogHistogram::new(5);
+        for v in [
+            0,
+            1,
+            63,
+            64,
+            65,
+            1000,
+            4096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let (lo, hi) = h.bucket_bounds(h.index_of(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+            // Bucket width ≤ 2^-g of the bucket's low bound.
+            assert!(hi - lo <= lo >> 5, "bucket [{lo},{hi}] too wide");
+        }
+    }
+
+    #[test]
+    fn indices_are_contiguous_over_bucket_boundaries() {
+        let h = LogHistogram::new(3);
+        let mut last = None;
+        let mut v = 0u64;
+        while v < 10_000 {
+            let idx = h.index_of(v);
+            if let Some(prev) = last {
+                assert!(idx == prev || idx == prev + 1, "index jumped at {v}");
+            }
+            last = Some(idx);
+            v += 1;
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let mut h = LogHistogram::new(5);
+        for v in 1..=1000 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((480..=540).contains(&p50), "p50 {p50}");
+        assert!((980..=1000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(1000));
+        assert_eq!(h.mean(), Some(500.5));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_statistics() {
+        let h = LogHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = LogHistogram::new(5);
+        let mut b = LogHistogram::new(5);
+        let mut whole = LogHistogram::new(5);
+        for v in [3u64, 77, 1024, 5, 999_999] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [4u64, 77, 2048] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different grouping bits")]
+    fn merge_rejects_mismatched_grids() {
+        let mut a = LogHistogram::new(5);
+        a.merge(&LogHistogram::new(6));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the log-bucketed histogram.
+//!
+//! The scanner's per-phase statistics depend on four algebraic
+//! guarantees: merge is associative and commutative, counts are
+//! conserved when a recording stream is split across histograms and
+//! merged back, every bucket brackets the values it absorbed, and
+//! quantiles are monotone in the requested rank.
+
+use obs::LogHistogram;
+use proptest::prelude::*;
+
+fn hist_of(grouping_bits: u32, values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new(grouping_bits);
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..40),
+        b in proptest::collection::vec(any::<u64>(), 0..40),
+        c in proptest::collection::vec(any::<u64>(), 0..40),
+        g in 1u32..=10,
+    ) {
+        let (ha, hb, hc) = (hist_of(g, &a), hist_of(g, &b), hist_of(g, &c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ∪ b == b ∪ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+    }
+
+    #[test]
+    fn counts_conserved_under_split_and_merge(
+        values in proptest::collection::vec(any::<u64>(), 1..80),
+        split in any::<usize>(),
+        g in 1u32..=10,
+    ) {
+        let at = split % values.len();
+        let mut merged = hist_of(g, &values[..at]);
+        merged.merge(&hist_of(g, &values[at..]));
+        let whole = hist_of(g, &values);
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(merged.sum(), values.iter().map(|&v| u128::from(v)).sum::<u128>());
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_recorded_values(v in any::<u64>(), g in 1u32..=16) {
+        let h = LogHistogram::new(g);
+        let (lo, hi) = h.bucket_bounds(h.index_of(v));
+        prop_assert!(lo <= v && v <= hi, "{} outside [{}, {}]", v, lo, hi);
+        // Relative error bound: bucket width ≤ 2^-g · lo.
+        prop_assert!(hi - lo <= lo >> g, "bucket [{}, {}] too wide for g={}", lo, hi, g);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        values in proptest::collection::vec(any::<u64>(), 1..80),
+        qs in proptest::collection::vec(0.0f64..1.0, 2..8),
+        g in 1u32..=10,
+    ) {
+        let h = hist_of(g, &values);
+        let mut sorted_qs = qs;
+        sorted_qs.push(1.0); // always exercise the endpoint
+        sorted_qs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let mut last = None;
+        for &q in &sorted_qs {
+            let quantile = h.quantile(q).unwrap();
+            prop_assert!(quantile >= h.min().unwrap() && quantile <= h.max().unwrap());
+            if let Some(prev) = last {
+                prop_assert!(quantile >= prev, "quantile({}) = {} < {}", q, quantile, prev);
+            }
+            last = Some(quantile);
+        }
+    }
+}

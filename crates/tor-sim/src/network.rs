@@ -26,6 +26,7 @@ use netsim::{
     AsId, AsProfile, FaultPlan, NodeId, ProtocolPolicy, SimTime, Simulator, TrafficClass, Underlay,
     UnderlayConfig,
 };
+use obs::{Obs, Value};
 use onion_crypto::KeyPair;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -71,6 +72,9 @@ pub struct TorNetworkBuilder {
     /// Vantage hosts beyond the primary measurement host (0 = the
     /// classic single-vantage paper setup).
     extra_vantages: usize,
+    /// Observability handle threaded into the simulator and exposed on
+    /// the built network. Defaults to [`Obs::off`].
+    observability: Obs,
 }
 
 impl TorNetworkBuilder {
@@ -87,6 +91,7 @@ impl TorNetworkBuilder {
             fault_plan: FaultPlan::disabled(),
             relay_faults: RelayFaultProfile::disabled(),
             extra_vantages: 0,
+            observability: Obs::off(),
         }
     }
 
@@ -102,6 +107,7 @@ impl TorNetworkBuilder {
             fault_plan: FaultPlan::disabled(),
             relay_faults: RelayFaultProfile::disabled(),
             extra_vantages: 0,
+            observability: Obs::off(),
         }
     }
 
@@ -152,6 +158,16 @@ impl TorNetworkBuilder {
     /// own, as in the paper.
     pub fn relay_faults(mut self, profile: RelayFaultProfile) -> TorNetworkBuilder {
         self.relay_faults = profile;
+        self
+    }
+
+    /// Attaches an observability handle: the simulator's dispatch loop
+    /// and the network-level lifecycle methods (crash, revive, churn,
+    /// consensus refresh) record into it. Keep a clone to read the
+    /// registry, or use [`TorNetwork::obs`]. The default [`Obs::off`]
+    /// records nothing and is bit-identical to an uninstrumented build.
+    pub fn observability(mut self, obs: Obs) -> TorNetworkBuilder {
+        self.observability = obs;
         self
     }
 
@@ -366,6 +382,7 @@ impl TorNetworkBuilder {
         // ── Simulator + processes (same order as underlay nodes). ──
         let mut sim = Simulator::new(underlay, self.seed ^ 0xc0de);
         sim.set_fault_plan(self.fault_plan);
+        sim.set_obs(self.observability.clone());
         let (controller, proxy_process) =
             Controller::create(NodeId(proxy_idx as u32), identity_map);
         let proxy = sim.add_process(Box::new(proxy_process));
@@ -527,6 +544,57 @@ pub struct TorNetwork {
 }
 
 impl TorNetwork {
+    /// The observability handle attached at build time (the disabled
+    /// handle when none was).
+    pub fn obs(&self) -> &Obs {
+        self.sim.obs()
+    }
+
+    /// Publishes aggregate relay-layer totals (cells processed,
+    /// forwarded, dropped, EXTEND2 refusals, circuits created and
+    /// destroyed, streams opened) into the observability registry as
+    /// gauges, summed over every measurable relay plus the local
+    /// `w`/`z` pairs of all vantages. Call before exporting; repeated
+    /// calls overwrite. A no-op when observability is off.
+    pub fn publish_relay_totals(&self) {
+        let obs = self.sim.obs();
+        if !obs.is_enabled() {
+            return;
+        }
+        let mut totals = [0u64; 7];
+        let mut add = |m: &RelayMetrics| {
+            let s = m.snapshot();
+            totals[0] += s.cells_processed;
+            totals[1] += s.cells_forwarded;
+            totals[2] += s.cells_dropped;
+            totals[3] += s.extends_refused;
+            totals[4] += s.circuits_created;
+            totals[5] += s.circuits_destroyed;
+            totals[6] += s.streams_opened;
+        };
+        for m in &self.relay_metrics {
+            add(m);
+        }
+        add(&self.w_metrics);
+        add(&self.z_metrics);
+        for v in &self.extra_vantages {
+            add(&v.w_metrics);
+            add(&v.z_metrics);
+        }
+        let names = [
+            "tor.relay.cells_processed",
+            "tor.relay.cells_forwarded",
+            "tor.relay.cells_dropped",
+            "tor.relay.extends_refused",
+            "tor.relay.circuits_created",
+            "tor.relay.circuits_destroyed",
+            "tor.relay.streams_opened",
+        ];
+        for (name, total) in names.iter().zip(totals) {
+            obs.set_gauge(name, total as i64);
+        }
+    }
+
     /// Total vantage pairs available: the primary host plus extras.
     pub fn vantage_count(&self) -> usize {
         1 + self.extra_vantages.len()
@@ -585,12 +653,30 @@ impl TorNetwork {
     pub fn crash_relay(&mut self, relay: NodeId, until: Option<SimTime>) {
         let now = self.sim.now();
         self.sim.fault_plan_mut().add_crash(relay, now, until);
+        let obs = self.sim.obs();
+        obs.inc("tor.relay.crashes");
+        if obs.is_tracing() {
+            obs.event(
+                "tor.relay.crash",
+                now.as_nanos(),
+                vec![("node", Value::U64(u64::from(relay.0)))],
+            );
+        }
     }
 
     /// Reboots a crashed relay: events reach it again immediately. The
     /// consensus keeps listing it as down until the next refresh.
     pub fn revive_relay(&mut self, relay: NodeId) {
         self.sim.fault_plan_mut().clear_crashes(relay);
+        let obs = self.sim.obs();
+        obs.inc("tor.relay.revives");
+        if obs.is_tracing() {
+            obs.event(
+                "tor.relay.revive",
+                self.sim.now().as_nanos(),
+                vec![("node", Value::U64(u64::from(relay.0)))],
+            );
+        }
     }
 
     /// Whether the relay is actually reachable right now (ground truth,
@@ -629,6 +715,17 @@ impl TorNetwork {
         for &node in &departed {
             self.sim.fault_plan_mut().add_crash(node, now, None);
         }
+        let obs = self.sim.obs();
+        obs.add("tor.churn.departures", departed.len() as u64);
+        if obs.is_tracing() {
+            for &node in &departed {
+                obs.event(
+                    "tor.churn.departed",
+                    now.as_nanos(),
+                    vec![("node", Value::U64(u64::from(node.0)))],
+                );
+            }
+        }
         departed
     }
 
@@ -637,10 +734,25 @@ impl TorNetwork {
     /// exactly like the hourly consensus of the real network.
     pub fn refresh_consensus(&mut self) {
         let now = self.sim.now();
+        let mut running = 0u64;
         for i in 0..self.relays.len() {
             let node = self.relays[i];
             let up = !self.sim.fault_plan().node_down(node, now);
+            running += u64::from(up);
             self.consensus.set_running(node, up);
+        }
+        let obs = self.sim.obs();
+        obs.inc("tor.consensus.refreshes");
+        obs.set_gauge("tor.consensus.running", running as i64);
+        if obs.is_tracing() {
+            obs.event(
+                "tor.consensus.refresh",
+                now.as_nanos(),
+                vec![
+                    ("running", Value::U64(running)),
+                    ("relays", Value::U64(self.relays.len() as u64)),
+                ],
+            );
         }
     }
 }
