@@ -17,11 +17,14 @@
 //! * every quarantine is eventually released once relays come back;
 //! * kill/resume is bit-identical to the uninterrupted run.
 //!
-//! Usage: `chaos_soak [--seed N] [--virtual-hours H]`
-//! (env fallbacks: `TING_SEED`, `TING_HOURS`).
+//! Usage: `chaos_soak [--seed N] [--virtual-hours H] [--trace-out PATH]`
+//! (env fallbacks: `TING_SEED`, `TING_HOURS`). With `--trace-out` the
+//! uninterrupted run records a full span trace and exports it as
+//! `ting-obs-v1` JSONL for `ting-prof lint` / `ting-prof flame`.
 
 use bench::env_u64;
 use netsim::{FaultPlan, NodeId, SimDuration, SimTime};
+use ting::obs::{config_hash, ExportMeta, Obs, ObsConfig};
 use ting::{
     AdaptiveTimeoutConfig, HealthConfig, Scanner, ScannerConfig, Ting, TingConfig, ValidationConfig,
 };
@@ -31,8 +34,8 @@ use tor_sim::{RelayFaultProfile, TorNetwork, TorNetworkBuilder};
 const ROUND_SECS: u64 = 300;
 const N_NODES: usize = 8;
 
-fn storm_net(seed: u64) -> TorNetwork {
-    TorNetworkBuilder::live(seed, 12)
+fn storm_net(seed: u64, obs: Option<&Obs>) -> TorNetwork {
+    let mut builder = TorNetworkBuilder::live(seed, 12)
         .vantages(2)
         .fault_plan(
             FaultPlan::new(seed ^ 0x7)
@@ -44,8 +47,11 @@ fn storm_net(seed: u64) -> TorNetwork {
             overload_drop_prob: 0.002,
             overload_queue_depth: 32,
             seed: seed ^ 0x9,
-        })
-        .build()
+        });
+    if let Some(obs) = obs {
+        builder = builder.observability(obs.clone());
+    }
+    builder.build()
 }
 
 fn scan_config() -> ScannerConfig {
@@ -79,12 +85,16 @@ struct StormOutcome {
     violations: Vec<String>,
 }
 
-fn storm_run(seed: u64, rounds: u64, kill_at: Option<u64>) -> StormOutcome {
-    let mut net = storm_net(seed);
+fn storm_run(seed: u64, rounds: u64, kill_at: Option<u64>, obs: Option<&Obs>) -> StormOutcome {
+    let make_ting = || match obs {
+        Some(o) => Ting::with_obs(ting_config(), o.clone()),
+        None => Ting::new(ting_config()),
+    };
+    let mut net = storm_net(seed, obs);
     let nodes: Vec<NodeId> = net.relays.iter().copied().take(N_NODES).collect();
     let mut scanner = Scanner::new(nodes, scan_config());
     scanner.load_locations(&net);
-    let mut ting = Ting::new(ting_config());
+    let mut ting = make_ting();
     let churn = ChurnConfig {
         initial_relays: 12,
         daily_departure_rate: 1.2,
@@ -128,7 +138,7 @@ fn storm_run(seed: u64, rounds: u64, kill_at: Option<u64>) -> StormOutcome {
                 }
             }
             scanner.load_locations(&net);
-            ting = Ting::new(ting_config());
+            ting = make_ting();
             if let Err(e) = ting.timeouts.import(&timeouts) {
                 violations.push(format!("round {round}: timeout state refused: {e}"));
                 break;
@@ -202,18 +212,45 @@ fn arg_u64(args: &[String], name: &str, env_name: &str, default: u64) -> u64 {
         .unwrap_or_else(|| env_u64(env_name, default))
 }
 
+/// Reads an optional `--name value` string from the CLI.
+fn arg_str(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let seed = arg_u64(&args, "--seed", "TING_SEED", 2015);
     let hours = arg_u64(&args, "--virtual-hours", "TING_HOURS", 4);
+    let trace_out = arg_str(&args, "--trace-out");
     let rounds = (hours * 3600 / ROUND_SECS).max(1);
     println!(
         "# chaos soak: seed={seed} virtual_hours={hours} rounds={rounds} (kill at round {})",
         rounds / 3
     );
 
-    let uninterrupted = storm_run(seed, rounds, None);
-    let resumed = storm_run(seed, rounds, Some(rounds / 3));
+    // Tracing rides on the uninterrupted run only; the obs layer is
+    // behaviorally inert, so the bit-identity comparison against the
+    // untraced resumed run still stands (and doubles as a check of
+    // that inertness under storm conditions).
+    let obs = trace_out.as_ref().map(|_| Obs::new(ObsConfig::Trace));
+    let uninterrupted = storm_run(seed, rounds, None, obs.as_ref());
+    let resumed = storm_run(seed, rounds, Some(rounds / 3), None);
+
+    if let (Some(path), Some(obs)) = (&trace_out, &obs) {
+        let meta = ExportMeta {
+            seed,
+            config_hash: config_hash(&format!("chaos-soak hours={hours}")),
+        };
+        let trace = obs.export_jsonl(&meta);
+        if let Err(e) = std::fs::write(path, &trace) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("# trace: {} lines -> {path}", trace.lines().count());
+    }
 
     let mut violations = Vec::new();
     violations.extend(uninterrupted.violations.iter().cloned());

@@ -249,9 +249,16 @@ impl Ting {
 
     /// Records a completed phase at virtual instant `at`: the duration
     /// enters the per-phase latency histogram (and, at trace level, a
-    /// `ting.phase` event), and feeds the adaptive-deadline estimators
-    /// when those are enabled.
-    pub(crate) fn observe_phase_ms(&self, phase: TimeoutPhase, ms: f64, at: SimTime) {
+    /// `ting.phase` event tagged with the enclosing circuit's span id),
+    /// and feeds the adaptive-deadline estimators when those are
+    /// enabled.
+    pub(crate) fn observe_phase_ms(
+        &self,
+        phase: TimeoutPhase,
+        ms: f64,
+        at: SimTime,
+        circuit: obs::SpanId,
+    ) {
         let hist = match phase {
             TimeoutPhase::Build => &self.handles.build_hist,
             TimeoutPhase::Stream => &self.handles.stream_hist,
@@ -260,11 +267,12 @@ impl Ting {
         hist.record_ms(ms);
         if self.obs.is_tracing() {
             self.obs.event(
-                "ting.phase",
+                obs::names::TING_PHASE,
                 at.as_nanos(),
                 vec![
                     ("phase", Value::Str(Self::phase_name(phase).to_owned())),
                     ("dur_us", Value::U64(obs::ms_to_us(ms))),
+                    ("circuit", Value::U64(circuit.0)),
                 ],
             );
         }
@@ -282,10 +290,10 @@ impl Ting {
     }
 
     /// Bumps the `ting.error.<code>` counter and, at trace level,
-    /// records a `ting.error` event. Called at every failure creation
-    /// site (sequential and interleaved), so retried failures count
-    /// each time they occur.
-    pub(crate) fn observe_error(&self, err: &TingError, at: SimTime) {
+    /// records a `ting.error` event naming the failed circuit's span.
+    /// Called at every failure creation site (sequential and
+    /// interleaved), so retried failures count each time they occur.
+    pub(crate) fn observe_error(&self, err: &TingError, at: SimTime, circuit: obs::SpanId) {
         match err {
             TingError::CircuitBuildFailed { .. } => self.handles.err_circuit.inc(),
             TingError::StreamFailed => self.handles.err_stream.inc(),
@@ -293,9 +301,12 @@ impl Ting {
         }
         if self.obs.is_tracing() {
             self.obs.event(
-                "ting.error",
+                obs::names::TING_ERROR,
                 at.as_nanos(),
-                vec![("code", Value::Str(err.code().to_owned()))],
+                vec![
+                    ("code", Value::Str(err.code().to_owned())),
+                    ("circuit", Value::U64(circuit.0)),
+                ],
             );
         }
     }
@@ -306,11 +317,65 @@ impl Ting {
         self.handles.retries.inc();
         if self.obs.is_tracing() {
             self.obs.event(
-                "ting.retry",
+                obs::names::TING_RETRY,
                 at.as_nanos(),
                 vec![("attempt", Value::U64(u64::from(attempt)))],
             );
         }
+    }
+
+    /// Opens a `ting.circuit` span: one build-attach-sample attempt
+    /// through `path`. `kind` names the circuit's role in the Eq. (4)
+    /// estimator (`full` = C_xy, `x` = C_x, `y` = C_y; `leg` when a
+    /// bare two-hop circuit is sampled outside [`Ting::measure_pair`]
+    /// and the target leg is unknown). The span id tags every
+    /// `ting.phase`/`ting.error` event recorded inside the attempt, so
+    /// an analyzer can attribute each probe to its circuit.
+    pub(crate) fn observe_circuit_begin(
+        &self,
+        path: &[NodeId],
+        kind: &'static str,
+        attempt: u32,
+        vantage: usize,
+        at: SimTime,
+    ) -> obs::SpanId {
+        if !self.obs.is_tracing() {
+            return obs::SpanId(0);
+        }
+        let mut rendered = String::new();
+        for (i, n) in path.iter().enumerate() {
+            if i > 0 {
+                rendered.push('-');
+            }
+            rendered.push_str(&n.0.to_string());
+        }
+        self.obs.span_begin(
+            obs::names::TING_CIRCUIT_BEGIN,
+            at.as_nanos(),
+            vec![
+                ("kind", Value::Str(kind.to_owned())),
+                ("path", Value::Str(rendered)),
+                ("attempt", Value::U64(u64::from(attempt))),
+                ("vantage", Value::U64(vantage as u64)),
+            ],
+        )
+    }
+
+    /// Closes a `ting.circuit` span. `outcome` is `"ok"` or the
+    /// [`TingError::code`] that ended the attempt; every exit from a
+    /// circuit attempt — success, build failure, stream failure, probe
+    /// loss — must pass through here exactly once (the trace linter
+    /// rejects traces with unmatched begins).
+    pub(crate) fn observe_circuit_end(&self, span: obs::SpanId, outcome: &str, at: SimTime) {
+        if !self.obs.is_tracing() {
+            return;
+        }
+        self.obs.span_end(
+            obs::names::TING_CIRCUIT_END,
+            span,
+            at.as_nanos(),
+            vec![("outcome", Value::Str(outcome.to_owned()))],
+        );
     }
 
     /// Bumps the probe-timeout counter (kept next to
@@ -330,9 +395,9 @@ impl Ting {
     ) -> Result<TingMeasurement, TingError> {
         let started = net.sim.now();
         let (w, z) = (net.local_w, net.local_z);
-        let full = self.sample_circuit_resilient(net, vec![w, x, y, z])?;
-        let x_leg = self.sample_circuit_resilient(net, vec![w, x])?;
-        let y_leg = self.sample_circuit_resilient(net, vec![w, y])?;
+        let full = self.sample_circuit_resilient_traced(net, vec![w, x, y, z], "full")?;
+        let x_leg = self.sample_circuit_resilient_traced(net, vec![w, x], "x")?;
+        let y_leg = self.sample_circuit_resilient_traced(net, vec![w, y], "y")?;
         let elapsed_s = (net.sim.now() - started).as_secs_f64();
         Ok(TingMeasurement {
             full,
@@ -369,6 +434,19 @@ impl Ting {
         net: &mut TorNetwork,
         path: Vec<NodeId>,
     ) -> Result<CircuitSamples, TingError> {
+        let kind = circuit_kind_of(&path);
+        self.sample_circuit_resilient_traced(net, path, kind)
+    }
+
+    /// [`Ting::sample_circuit_resilient`] with the circuit's estimator
+    /// role (`full`/`x`/`y`) known, so every attempt's trace span says
+    /// which Eq. (4) term it sampled.
+    pub(crate) fn sample_circuit_resilient_traced(
+        &self,
+        net: &mut TorNetwork,
+        path: Vec<NodeId>,
+        kind: &'static str,
+    ) -> Result<CircuitSamples, TingError> {
         let attempts = self.config.max_attempts.max(1);
         let mut last_err = None;
         for attempt in 1..=attempts {
@@ -383,7 +461,7 @@ impl Ting {
                 let t = net.sim.now() + SimDuration::from_millis_f64(pause_ms);
                 net.sim.advance_to(t);
             }
-            match self.sample_circuit(net, path.clone()) {
+            match self.sample_circuit_traced(net, path.clone(), kind, attempt) {
                 Ok(samples) => return Ok(samples),
                 Err(e) => {
                     if !e.is_retryable() {
@@ -407,6 +485,22 @@ impl Ting {
         net: &mut TorNetwork,
         path: Vec<NodeId>,
     ) -> Result<CircuitSamples, TingError> {
+        let kind = circuit_kind_of(&path);
+        self.sample_circuit_traced(net, path, kind, 1)
+    }
+
+    /// [`Ting::sample_circuit`] with its trace identity (estimator role
+    /// and 1-based attempt number) known. The attempt is wrapped in a
+    /// `ting.circuit` span closed on *every* exit path — success and
+    /// each early error return alike.
+    pub(crate) fn sample_circuit_traced(
+        &self,
+        net: &mut TorNetwork,
+        path: Vec<NodeId>,
+        kind: &'static str,
+        attempt: u32,
+    ) -> Result<CircuitSamples, TingError> {
+        let span = self.observe_circuit_begin(&path, kind, attempt, 0, net.sim.now());
         let build_started = net.sim.now();
         let build_deadline = Self::deadline(net, self.phase_timeout_ms(TimeoutPhase::Build));
         let circuit = net.controller.build_circuit(&mut net.sim, path.clone());
@@ -426,13 +520,15 @@ impl Ting {
             ));
             net.controller.close_circuit(&mut net.sim, circuit);
             let err = TingError::CircuitBuildFailed { path, permanent };
-            self.observe_error(&err, net.sim.now());
+            self.observe_error(&err, net.sim.now(), span);
+            self.observe_circuit_end(span, err.code(), net.sim.now());
             return Err(err);
         }
         self.observe_phase_ms(
             TimeoutPhase::Build,
             net.sim.now().since(build_started).as_millis_f64(),
             net.sim.now(),
+            span,
         );
         let echo = net.echo_server;
         let open_started = net.sim.now();
@@ -444,13 +540,15 @@ impl Ting {
             self.metrics
                 .trace(format!("stream_failed circuit={}", circuit.0));
             net.controller.close_circuit(&mut net.sim, circuit);
-            self.observe_error(&TingError::StreamFailed, net.sim.now());
+            self.observe_error(&TingError::StreamFailed, net.sim.now(), span);
+            self.observe_circuit_end(span, TingError::StreamFailed.code(), net.sim.now());
             return Err(TingError::StreamFailed);
         };
         self.observe_phase_ms(
             TimeoutPhase::Stream,
             net.sim.now().since(open_started).as_millis_f64(),
             net.sim.now(),
+            span,
         );
 
         let mut samples: Vec<f64> = Vec::new();
@@ -471,7 +569,7 @@ impl Ting {
                 probe_deadline,
             ) {
                 Some(rtt) => {
-                    self.observe_phase_ms(TimeoutPhase::Probe, rtt, net.sim.now());
+                    self.observe_phase_ms(TimeoutPhase::Probe, rtt, net.sim.now(), span);
                     samples.push(rtt);
                 }
                 None => {
@@ -483,7 +581,8 @@ impl Ting {
                             .trace(format!("probes_lost circuit={} lost={lost}", circuit.0));
                         net.controller.close_stream(&mut net.sim, stream);
                         net.controller.close_circuit(&mut net.sim, circuit);
-                        self.observe_error(&TingError::ProbeLost, net.sim.now());
+                        self.observe_error(&TingError::ProbeLost, net.sim.now(), span);
+                        self.observe_circuit_end(span, TingError::ProbeLost.code(), net.sim.now());
                         return Err(TingError::ProbeLost);
                     }
                 }
@@ -493,7 +592,47 @@ impl Ting {
         net.controller.close_stream(&mut net.sim, stream);
         net.controller.close_circuit(&mut net.sim, circuit);
         net.sim.run_until_idle();
+        self.observe_circuit_end(span, "ok", net.sim.now());
         Ok(CircuitSamples::new(samples))
+    }
+
+    /// Opens a `scan.pair` span for a measurement of `(a, b)` from
+    /// `vantage`. Used by both scan drivers so sequential and parallel
+    /// traces carry identically-shaped pair spans.
+    pub(crate) fn observe_pair_begin(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        vantage: usize,
+        at: SimTime,
+    ) -> obs::SpanId {
+        if !self.obs.is_tracing() {
+            return obs::SpanId(0);
+        }
+        self.obs.span_begin(
+            obs::names::SCAN_PAIR_BEGIN,
+            at.as_nanos(),
+            vec![
+                ("a", Value::U64(u64::from(a.0))),
+                ("b", Value::U64(u64::from(b.0))),
+                ("vantage", Value::U64(vantage as u64)),
+            ],
+        )
+    }
+
+    /// Closes a `scan.pair` span with an outcome string (`accepted`,
+    /// `rejected`, an error code, or `ok` for raw engine runs with no
+    /// validating scanner above them).
+    pub(crate) fn observe_pair_end(&self, span: obs::SpanId, outcome: &str, at: SimTime) {
+        if !self.obs.is_tracing() {
+            return;
+        }
+        self.obs.span_end(
+            obs::names::SCAN_PAIR_END,
+            span,
+            at.as_nanos(),
+            vec![("outcome", Value::Str(outcome.to_owned()))],
+        );
     }
 
     /// The probe payload: `payload_len` bytes carrying the probe index
@@ -505,6 +644,17 @@ impl Ting {
             *slot = byte;
         }
         payload
+    }
+}
+
+/// The estimator role of a circuit judging only by its path shape:
+/// four hops is the full `C_xy` circuit; a two-hop leg sampled outside
+/// [`Ting::measure_pair`] cannot be told apart as `C_x` vs `C_y`.
+pub(crate) fn circuit_kind_of(path: &[NodeId]) -> &'static str {
+    if path.len() == 4 {
+        "full"
+    } else {
+        "leg"
     }
 }
 

@@ -36,6 +36,11 @@ pub struct PairOutcome {
     pub vantage: usize,
     /// Virtual instant the measurement finished (success or failure).
     pub completed_at: SimTime,
+    /// The pair's `scan.pair` trace span, opened by the engine when the
+    /// measurement started. The completion handler must close it (the
+    /// scanner does so with the validation outcome;
+    /// [`measure_interleaved`] closes it with the raw result).
+    pub span: obs::SpanId,
     pub result: Result<TingMeasurement, TingError>,
 }
 
@@ -84,6 +89,13 @@ struct PairTask {
     w: NodeId,
     z: NodeId,
     echo: NodeId,
+    /// Vantage index this task measures from (trace attribution).
+    vantage: usize,
+    /// The open `scan.pair` span (id 0 when not tracing).
+    pair_span: obs::SpanId,
+    /// The `ting.circuit` span of the in-flight attempt, tagging every
+    /// phase/error event recorded while it is open.
+    circuit_span: obs::SpanId,
     started: SimTime,
     /// 0 = `C_xy`, 1 = `C_x`, 2 = `C_y`.
     phase: usize,
@@ -103,13 +115,26 @@ struct PairTask {
 }
 
 impl PairTask {
-    fn new(x: NodeId, y: NodeId, w: NodeId, z: NodeId, echo: NodeId, now: SimTime) -> PairTask {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        x: NodeId,
+        y: NodeId,
+        w: NodeId,
+        z: NodeId,
+        echo: NodeId,
+        vantage: usize,
+        pair_span: obs::SpanId,
+        now: SimTime,
+    ) -> PairTask {
         PairTask {
             x,
             y,
             w,
             z,
             echo,
+            vantage,
+            pair_span,
+            circuit_span: obs::SpanId(0),
             started: now,
             phase: 0,
             attempt: 1,
@@ -146,6 +171,9 @@ impl PairTask {
     /// measurement once attempts are exhausted (or the failure is
     /// permanent).
     fn fail_attempt(&mut self, sim: &Simulator, ting: &Ting, err: TingError) {
+        // Whatever happens next (retry or give up), this attempt's
+        // circuit is over — close its span so no error path leaks one.
+        ting.observe_circuit_end(self.circuit_span, err.code(), sim.now());
         let max_attempts = ting.config.max_attempts.max(1);
         if !err.is_retryable() || self.attempt >= max_attempts {
             self.result = Some(Err(err));
@@ -213,8 +241,21 @@ impl PairTask {
                     self.lost = 0;
                     self.probe_idx = 0;
                     self.build_started = sim.now();
+                    let kind = match self.phase {
+                        0 => "full",
+                        1 => "x",
+                        _ => "y",
+                    };
+                    let path = self.phase_path();
+                    self.circuit_span = ting.observe_circuit_begin(
+                        &path,
+                        kind,
+                        self.attempt,
+                        self.vantage,
+                        sim.now(),
+                    );
                     let deadline = Self::deadline(sim, ting.phase_timeout_ms(TimeoutPhase::Build));
-                    let circuit = ctl.build_circuit(sim, self.phase_path());
+                    let circuit = ctl.build_circuit(sim, path);
                     self.state = TaskState::Building { circuit, deadline };
                 }
                 TaskState::Building { circuit, deadline } => match ctl.circuit_status(circuit) {
@@ -223,6 +264,7 @@ impl PairTask {
                             TimeoutPhase::Build,
                             sim.now().since(self.build_started).as_millis_f64(),
                             sim.now(),
+                            self.circuit_span,
                         );
                         self.open_started = sim.now();
                         let deadline =
@@ -249,7 +291,7 @@ impl PairTask {
                         ));
                         ctl.close_circuit(sim, circuit);
                         let err = TingError::CircuitBuildFailed { path, permanent };
-                        ting.observe_error(&err, sim.now());
+                        ting.observe_error(&err, sim.now(), self.circuit_span);
                         self.fail_attempt(sim, ting, err);
                     }
                 },
@@ -263,6 +305,7 @@ impl PairTask {
                             TimeoutPhase::Stream,
                             sim.now().since(self.open_started).as_millis_f64(),
                             sim.now(),
+                            self.circuit_span,
                         );
                         self.send_probe(sim, ctl, ting, circuit, stream);
                     }
@@ -275,7 +318,7 @@ impl PairTask {
                         ting.metrics
                             .trace(format!("stream_failed circuit={}", circuit.0));
                         ctl.close_circuit(sim, circuit);
-                        ting.observe_error(&TingError::StreamFailed, sim.now());
+                        ting.observe_error(&TingError::StreamFailed, sim.now(), self.circuit_span);
                         self.fail_attempt(sim, ting, TingError::StreamFailed);
                     }
                 },
@@ -304,12 +347,17 @@ impl PairTask {
                         .next_back();
                     match echoed {
                         Some(rtt) => {
-                            ting.observe_phase_ms(TimeoutPhase::Probe, rtt, sim.now());
+                            ting.observe_phase_ms(
+                                TimeoutPhase::Probe,
+                                rtt,
+                                sim.now(),
+                                self.circuit_span,
+                            );
                             self.samples.push(rtt);
                             if ting.config.policy.wants_more(&self.samples) {
                                 self.pause_or_probe(sim, ctl, ting, circuit, stream);
                             } else {
-                                self.finish_phase(sim, ctl, circuit, stream);
+                                self.finish_phase(sim, ctl, ting, circuit, stream);
                             }
                         }
                         None => {
@@ -327,7 +375,11 @@ impl PairTask {
                                 ));
                                 ctl.close_stream(sim, stream);
                                 ctl.close_circuit(sim, circuit);
-                                ting.observe_error(&TingError::ProbeLost, sim.now());
+                                ting.observe_error(
+                                    &TingError::ProbeLost,
+                                    sim.now(),
+                                    self.circuit_span,
+                                );
                                 self.fail_attempt(sim, ting, TingError::ProbeLost);
                             } else {
                                 self.pause_or_probe(sim, ctl, ting, circuit, stream);
@@ -373,11 +425,13 @@ impl PairTask {
         &mut self,
         sim: &mut Simulator,
         ctl: &mut Controller,
+        ting: &Ting,
         circuit: CircuitHandle,
         stream: StreamHandle,
     ) {
         ctl.close_stream(sim, stream);
         ctl.close_circuit(sim, circuit);
+        ting.observe_circuit_end(self.circuit_span, "ok", sim.now());
         self.phase_samples
             .push(CircuitSamples::new(std::mem::take(&mut self.samples)));
         self.phase += 1;
@@ -406,7 +460,10 @@ impl PairTask {
 /// concurrently in virtual time. Each vantage works through its own
 /// shard of the assignment list in order; outcomes are returned in
 /// completion order (deterministic for a fixed network and assignment
-/// list).
+/// list). The engine closes each pair's trace span with the raw
+/// measurement outcome; use [`measure_interleaved_with`] to take over
+/// completion handling (the scanner does, closing spans with the
+/// validation verdict instead).
 ///
 /// # Panics
 /// Panics when an assignment names a vantage the network does not have,
@@ -417,6 +474,31 @@ pub fn measure_interleaved(
     ting: &Ting,
     assignments: &[(usize, NodeId, NodeId)],
 ) -> Vec<PairOutcome> {
+    let mut outcomes = Vec::with_capacity(assignments.len());
+    measure_interleaved_with(net, ting, assignments, |outcome| {
+        let label = match &outcome.result {
+            Ok(_) => "ok",
+            Err(e) => e.code(),
+        };
+        ting.observe_pair_end(outcome.span, label, outcome.completed_at);
+        outcomes.push(outcome);
+    });
+    outcomes
+}
+
+/// [`measure_interleaved`] with a custom completion handler:
+/// `on_complete` runs *at the virtual instant each measurement
+/// finishes* (the simulation has not advanced past
+/// [`PairOutcome::completed_at`]), so bookkeeping it performs — cache
+/// updates, health accounting, trace events — lands at the completion
+/// time and the trace stays time-ordered. The handler owns the pair's
+/// `scan.pair` span ([`PairOutcome::span`]) and must close it.
+pub fn measure_interleaved_with(
+    net: &mut TorNetwork,
+    ting: &Ting,
+    assignments: &[(usize, NodeId, NodeId)],
+    mut on_complete: impl FnMut(PairOutcome),
+) {
     let k = net.vantage_count();
     let mut shards: Vec<VecDeque<(NodeId, NodeId)>> = (0..k).map(|_| VecDeque::new()).collect();
     for &(v, x, y) in assignments {
@@ -424,7 +506,6 @@ pub fn measure_interleaved(
         shards[v].push_back((x, y));
     }
     let mut active: Vec<Option<PairTask>> = (0..k).map(|_| None).collect();
-    let mut outcomes = Vec::with_capacity(assignments.len());
     let mut idle_pending = false;
     let mut stuck_polls = 0u32;
 
@@ -436,7 +517,8 @@ pub fn measure_interleaved(
             if active[v].is_none() {
                 if let Some((x, y)) = shards[v].pop_front() {
                     let (w, z, echo) = net.vantage_endpoints(v);
-                    active[v] = Some(PairTask::new(x, y, w, z, echo, net.sim.now()));
+                    let span = ting.observe_pair_begin(x, y, v, net.sim.now());
+                    active[v] = Some(PairTask::new(x, y, w, z, echo, v, span, net.sim.now()));
                 }
             }
             let Some(task) = active[v].as_mut() else {
@@ -446,11 +528,12 @@ pub fn measure_interleaved(
             let (sim, ctl, _, _, _) = net.vantage_parts(v);
             let hint = task.poll(sim, ctl, ting, idle);
             if let Some(result) = task.result.take() {
-                outcomes.push(PairOutcome {
+                on_complete(PairOutcome {
                     x: task.x,
                     y: task.y,
                     vantage: v,
                     completed_at: net.sim.now(),
+                    span: task.pair_span,
                     result,
                 });
                 active[v] = None;
@@ -488,5 +571,4 @@ pub fn measure_interleaved(
         }
         stuck_polls = 0;
     }
-    outcomes
 }

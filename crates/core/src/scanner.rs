@@ -12,7 +12,7 @@ use crate::estimator::TingMeasurement;
 use crate::health::{HealthConfig, HealthEvent, RelayHealth};
 use crate::matrix::RttMatrix;
 use crate::orchestrator::{Ting, TingError};
-use crate::parallel::measure_interleaved;
+use crate::parallel::measure_interleaved_with;
 use crate::queue::WorkQueue;
 use crate::validate::{validate, ValidationConfig, ValidationContext, ValidationError, Verdict};
 use geo::GeoPoint;
@@ -219,7 +219,7 @@ impl Scanner {
             ting.obs().inc("ting.estimate.implausible");
             if ting.obs().is_tracing() {
                 ting.obs().event(
-                    "validate.implausible",
+                    obs::names::VALIDATE_IMPLAUSIBLE,
                     now.as_nanos(),
                     vec![
                         ("a", Value::U64(a.0 as u64)),
@@ -243,7 +243,7 @@ impl Scanner {
                         e.code()
                     ));
                     self.observe_verdict(
-                        "validate.flag",
+                        obs::names::VALIDATE_FLAG,
                         "ting.validate.flag",
                         a,
                         b,
@@ -261,7 +261,7 @@ impl Scanner {
                         e.code()
                     ));
                     self.observe_verdict(
-                        "validate.reject",
+                        obs::names::VALIDATE_REJECT,
                         "ting.validate.reject",
                         a,
                         b,
@@ -357,7 +357,7 @@ impl Scanner {
                 ting.obs().inc("ting.health.quarantined");
                 if ting.obs().is_tracing() {
                     ting.obs().event(
-                        "health.quarantine",
+                        obs::names::HEALTH_QUARANTINE,
                         now.as_nanos(),
                         vec![("node", Value::U64(n.0 as u64))],
                     );
@@ -371,7 +371,7 @@ impl Scanner {
                 ting.obs().inc("ting.health.released.probation");
                 if ting.obs().is_tracing() {
                     ting.obs().event(
-                        "health.release",
+                        obs::names::HEALTH_RELEASE,
                         now.as_nanos(),
                         vec![
                             ("node", Value::U64(n.0 as u64)),
@@ -441,7 +441,7 @@ impl Scanner {
                 ting.obs().inc("ting.health.released.decay");
                 if ting.obs().is_tracing() {
                     ting.obs().event(
-                        "health.release",
+                        obs::names::HEALTH_RELEASE,
                         now.as_nanos(),
                         vec![
                             ("node", Value::U64(n.0 as u64)),
@@ -464,7 +464,7 @@ impl Scanner {
                     ting.obs().inc("ting.health.probation_probe");
                     if ting.obs().is_tracing() {
                         ting.obs().event(
-                            "health.probe",
+                            obs::names::HEALTH_PROBE,
                             now.as_nanos(),
                             vec![
                                 ("node", Value::U64(n.0 as u64)),
@@ -482,22 +482,10 @@ impl Scanner {
         plan
     }
 
-    /// Opens the per-pair measurement span (trace mode only; under
-    /// `Metrics` the cost is one branch).
-    fn observe_pair_begin(&self, a: NodeId, b: NodeId, now: SimTime, ting: &Ting) -> obs::SpanId {
-        if !ting.obs().is_tracing() {
-            return obs::SpanId(0);
-        }
-        ting.obs().span_begin(
-            "scan.pair.begin",
-            now.as_nanos(),
-            vec![("a", Value::U64(a.0 as u64)), ("b", Value::U64(b.0 as u64))],
-        )
-    }
-
-    /// Closes the per-pair measurement span. `Ok(accepted)` is a
-    /// completed measurement (accepted or rejected by validation);
-    /// `Err` carries the pipeline error's stable reason code.
+    /// Closes the per-pair measurement span with the scanner's verdict.
+    /// `Ok(accepted)` is a completed measurement (accepted or rejected
+    /// by validation); `Err` carries the pipeline error's stable reason
+    /// code.
     fn observe_pair_end(
         &self,
         span: obs::SpanId,
@@ -505,20 +493,12 @@ impl Scanner {
         now: SimTime,
         ting: &Ting,
     ) {
-        if !ting.obs().is_tracing() {
-            return;
-        }
         let outcome = match outcome {
             Ok(true) => "accepted",
             Ok(false) => "rejected",
             Err(e) => e.code(),
         };
-        ting.obs().span_end(
-            "scan.pair.end",
-            span,
-            now.as_nanos(),
-            vec![("outcome", Value::Str(outcome.to_owned()))],
-        );
+        ting.observe_pair_end(span, outcome, now);
     }
 
     /// Closes the scan-round span with the round's tallies.
@@ -527,7 +507,7 @@ impl Scanner {
             return;
         }
         ting.obs().span_end(
-            "scan.round.end",
+            obs::names::SCAN_ROUND_END,
             span,
             now.as_nanos(),
             vec![
@@ -571,14 +551,14 @@ impl Scanner {
     pub fn run_round(&mut self, net: &mut TorNetwork, ting: &Ting) -> RoundReport {
         let plan = self.plan_round_healthy(net.sim.now(), ting);
         let round = ting.obs().span_begin(
-            "scan.round.begin",
+            obs::names::SCAN_ROUND_BEGIN,
             net.sim.now().as_nanos(),
             vec![("planned", Value::U64(plan.len() as u64))],
         );
         let mut measured = 0;
         let mut failed = 0;
         for (a, b) in plan {
-            let pair_span = self.observe_pair_begin(a, b, net.sim.now(), ting);
+            let pair_span = ting.observe_pair_begin(a, b, 0, net.sim.now());
             match ting.measure_pair(net, a, b) {
                 Ok(m) => {
                     self.note_pair_outcome(a, b, Ok(()), net.sim.now(), ting);
@@ -615,9 +595,10 @@ impl Scanner {
     /// over every provisioned vantage (see
     /// [`tor_sim::TorNetworkBuilder::vantages`]) and measured
     /// concurrently in virtual time via
-    /// [`crate::parallel::measure_interleaved`]. Outcomes are recorded
-    /// in completion order, stamped with each measurement's own
-    /// completion instant.
+    /// [`crate::parallel::measure_interleaved_with`]. Outcomes are
+    /// recorded *at each measurement's own completion instant* — the
+    /// engine hands them over before the simulation moves on, so cache,
+    /// health, and trace bookkeeping all land time-ordered.
     ///
     /// With a single vantage this *is* [`Scanner::run_round`] — the
     /// sequential path is invoked directly, so `K = 1` output stays
@@ -629,7 +610,7 @@ impl Scanner {
         }
         let plan = self.plan_round_healthy(net.sim.now(), ting);
         let round = ting.obs().span_begin(
-            "scan.round.begin",
+            obs::names::SCAN_ROUND_BEGIN,
             net.sim.now().as_nanos(),
             vec![
                 ("planned", Value::U64(plan.len() as u64)),
@@ -643,43 +624,28 @@ impl Scanner {
             .collect();
         let mut measured = 0;
         let mut failed = 0;
-        for outcome in measure_interleaved(net, ting, &assignments) {
+        let this = &mut *self;
+        measure_interleaved_with(net, ting, &assignments, |outcome| {
+            let at = outcome.completed_at;
             match outcome.result {
                 Ok(m) => {
-                    self.note_pair_outcome(
-                        outcome.x,
-                        outcome.y,
-                        Ok(()),
-                        outcome.completed_at,
-                        ting,
-                    );
-                    let accepted =
-                        self.record_success(outcome.x, outcome.y, &m, outcome.completed_at, ting);
+                    this.note_pair_outcome(outcome.x, outcome.y, Ok(()), at, ting);
+                    let accepted = this.record_success(outcome.x, outcome.y, &m, at, ting);
                     if accepted {
                         measured += 1;
                     } else {
                         failed += 1;
                     }
-                    let span =
-                        self.observe_pair_begin(outcome.x, outcome.y, outcome.completed_at, ting);
-                    self.observe_pair_end(span, Ok(accepted), outcome.completed_at, ting);
+                    this.observe_pair_end(outcome.span, Ok(accepted), at, ting);
                 }
                 Err(ref e) => {
                     failed += 1;
-                    self.note_pair_outcome(
-                        outcome.x,
-                        outcome.y,
-                        Err(e),
-                        outcome.completed_at,
-                        ting,
-                    );
-                    self.record_failure(outcome.x, outcome.y, outcome.completed_at, ting);
-                    let span =
-                        self.observe_pair_begin(outcome.x, outcome.y, outcome.completed_at, ting);
-                    self.observe_pair_end(span, Err(e), outcome.completed_at, ting);
+                    this.note_pair_outcome(outcome.x, outcome.y, Err(e), at, ting);
+                    this.record_failure(outcome.x, outcome.y, at, ting);
+                    this.observe_pair_end(outcome.span, Err(e), at, ting);
                 }
             }
-        }
+        });
         let report = RoundReport {
             measured,
             failed,

@@ -333,7 +333,7 @@ impl Simulator {
                 self.obs.fault_events_dropped.inc();
                 if self.obs.obs.is_tracing() {
                     self.obs.obs.event(
-                        "net.fault.event_dropped",
+                        obs::names::NET_FAULT_EVENT_DROPPED,
                         self.now.as_nanos(),
                         vec![("node", Value::U64(u64::from(dest.0)))],
                     );
@@ -354,7 +354,7 @@ impl Simulator {
                 }
                 if self.obs.obs.is_tracing() {
                     self.obs.obs.event(
-                        "net.deliver",
+                        obs::names::NET_DELIVER,
                         self.now.as_nanos(),
                         vec![
                             ("conn", Value::U64(conn.0)),
@@ -377,7 +377,7 @@ impl Simulator {
                 }
                 if self.obs.obs.is_tracing() {
                     self.obs.obs.event(
-                        "net.conn_opened",
+                        obs::names::NET_CONN_OPENED,
                         self.now.as_nanos(),
                         vec![
                             ("conn", Value::U64(conn.0)),
@@ -399,7 +399,7 @@ impl Simulator {
                 }
                 if self.obs.obs.is_tracing() {
                     self.obs.obs.event(
-                        "net.conn_closed",
+                        obs::names::NET_CONN_CLOSED,
                         self.now.as_nanos(),
                         vec![("conn", Value::U64(conn.0))],
                     );
@@ -472,7 +472,7 @@ impl Simulator {
             self.obs.fault_connects_blackholed.inc();
             if self.obs.obs.is_tracing() {
                 self.obs.obs.event(
-                    "net.fault.connect_blackholed",
+                    obs::names::NET_FAULT_CONNECT_BLACKHOLED,
                     self.now.as_nanos(),
                     vec![
                         ("from", Value::U64(u64::from(from.0))),
@@ -564,7 +564,7 @@ impl Simulator {
                 self.obs.fault_messages_dropped.inc();
                 if self.obs.obs.is_tracing() {
                     self.obs.obs.event(
-                        "net.fault.message_dropped",
+                        obs::names::NET_FAULT_MESSAGE_DROPPED,
                         self.now.as_nanos(),
                         vec![
                             ("conn", Value::U64(conn.0)),
@@ -579,7 +579,7 @@ impl Simulator {
                 self.obs.fault_delays.inc();
                 if self.obs.obs.is_tracing() {
                     self.obs.obs.event(
-                        "net.fault.delay",
+                        obs::names::NET_FAULT_DELAY,
                         self.now.as_nanos(),
                         vec![("conn", Value::U64(conn.0)), ("ms", Value::F64(extra))],
                     );

@@ -1,0 +1,106 @@
+//! `ting-prof`: analyze `ting-obs-v1` traces and gate bench baselines.
+//!
+//! ```text
+//! ting-prof lint   <trace.jsonl>                  # exit 1 on issues
+//! ting-prof report <trace.jsonl>                  # deterministic profile
+//! ting-prof flame  <trace.jsonl> [out.folded]     # folded stacks
+//! ting-prof diff   <base.json> <current.json> [--tolerance 0.10]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("ting-prof: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: ting-prof <lint|report|flame|diff> ... (see --help)";
+    let cmd = args.first().map(String::as_str).ok_or(usage)?;
+    match cmd {
+        "lint" => {
+            let doc = load_trace(args.get(1).ok_or("lint: missing trace path")?)?;
+            let issues = obs_analyze::lint(&doc);
+            for issue in &issues {
+                println!("{issue}");
+            }
+            if issues.is_empty() {
+                println!(
+                    "ok: {} events, 0 issues (seed={} config_hash={:016x})",
+                    doc.events.len(),
+                    doc.seed,
+                    doc.config_hash
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!("{} issue(s)", issues.len());
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        "report" => {
+            let doc = load_trace(args.get(1).ok_or("report: missing trace path")?)?;
+            let trace = obs_analyze::build(&doc)?;
+            print!("{}", obs_analyze::report::render(&doc, &trace));
+            Ok(ExitCode::SUCCESS)
+        }
+        "flame" => {
+            let doc = load_trace(args.get(1).ok_or("flame: missing trace path")?)?;
+            let trace = obs_analyze::build(&doc)?;
+            let folded = obs_analyze::folded_stacks(&trace);
+            match args.get(2) {
+                Some(path) => {
+                    std::fs::write(path, &folded).map_err(|e| format!("{path}: {e}"))?;
+                    eprintln!("wrote {} stacks to {path}", folded.lines().count());
+                }
+                None => print!("{folded}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let base_path = args.get(1).ok_or("diff: missing baseline path")?;
+            let cur_path = args.get(2).ok_or("diff: missing current path")?;
+            let mut tolerance = 0.10;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--tolerance" => {
+                        tolerance = rest
+                            .next()
+                            .ok_or("--tolerance needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--tolerance: {e}"))?;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let base = obs_analyze::parse_bench(&read(base_path)?)?;
+            let current = obs_analyze::parse_bench(&read(cur_path)?)?;
+            let report = obs_analyze::diff(&base, &current, tolerance);
+            print!("{}", report.render(&base, &current));
+            Ok(if report.failed() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "--help" | "-h" | "help" => {
+            println!("{usage}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}; {usage}")),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_trace(path: &str) -> Result<obs::Document, String> {
+    obs_analyze::parse_document(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}

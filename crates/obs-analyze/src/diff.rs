@@ -1,0 +1,292 @@
+//! Bench diff engine and CI regression gate.
+//!
+//! Compares two `BENCH_scan.json` documents (schema
+//! `ting-bench-scan-v1`, written by `bench --bin perf_baseline`). The
+//! gated metrics are the per-phase latency quantiles, which are
+//! **virtual-time** measurements: for a fixed seed and config they are
+//! bit-deterministic, so the gate has no flakiness budget — any drift
+//! beyond tolerance is a real change in the measurement pipeline, not
+//! host noise. Wall-clock throughput is reported but never gated.
+
+use crate::json;
+
+/// One phase's quantile summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    pub count: u64,
+    pub min_us: u64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// A parsed `ting-bench-scan-v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    pub seed: u64,
+    pub config_hash: String,
+    pub relays: u64,
+    pub samples: u64,
+    pub pairs: u64,
+    pub measured: u64,
+    pub failed: u64,
+    pub wall_s: f64,
+    pub virtual_s: f64,
+    pub pairs_per_wall_s: f64,
+    /// `(phase name, stats)` in document order.
+    pub phases: Vec<(String, PhaseStats)>,
+}
+
+/// Parses a bench baseline document.
+pub fn parse_bench(text: &str) -> Result<BenchDoc, String> {
+    let v = json::parse(text.trim_end())?;
+    let schema = v.get("schema").ok_or("missing schema")?.as_str("schema")?;
+    if schema != "ting-bench-scan-v1" {
+        return Err(format!("unsupported bench schema {schema:?}"));
+    }
+    let u = |key: &str| -> Result<u64, String> {
+        v.get(key).ok_or(format!("missing {key}"))?.as_u64(key)
+    };
+    let f = |key: &str| -> Result<f64, String> {
+        v.get(key).ok_or(format!("missing {key}"))?.as_f64(key)
+    };
+    let mut phases = Vec::new();
+    for (name, p) in v.get("phases").ok_or("missing phases")?.as_obj("phases")? {
+        let pu = |key: &str| -> Result<u64, String> {
+            p.get(key)
+                .ok_or(format!("phase {name}: missing {key}"))?
+                .as_u64(key)
+        };
+        phases.push((
+            name.clone(),
+            PhaseStats {
+                count: pu("count")?,
+                min_us: pu("min_us")?,
+                p50_us: pu("p50_us")?,
+                p90_us: pu("p90_us")?,
+                p99_us: pu("p99_us")?,
+                max_us: pu("max_us")?,
+            },
+        ));
+    }
+    Ok(BenchDoc {
+        seed: u("seed")?,
+        config_hash: v
+            .get("config_hash")
+            .ok_or("missing config_hash")?
+            .as_str("config_hash")?
+            .to_owned(),
+        relays: u("relays")?,
+        samples: u("samples")?,
+        pairs: u("pairs")?,
+        measured: u("measured")?,
+        failed: u("failed")?,
+        wall_s: f("wall_s")?,
+        virtual_s: f("virtual_s")?,
+        pairs_per_wall_s: f("pairs_per_wall_s")?,
+        phases,
+    })
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffLine {
+    /// `build.p50_us`, `probe.count`, …
+    pub metric: String,
+    pub base: u64,
+    pub current: u64,
+    /// Relative change, `(current − base) / base`.
+    pub delta: f64,
+    /// Whether this line trips the gate at the configured tolerance.
+    pub regressed: bool,
+}
+
+/// The diff verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    pub lines: Vec<DiffLine>,
+    /// Set when the runs are not comparable (different seed or config).
+    pub incomparable: Option<String>,
+    pub tolerance: f64,
+}
+
+impl DiffReport {
+    /// True when the gate should fail the build.
+    pub fn failed(&self) -> bool {
+        self.incomparable.is_some() || self.lines.iter().any(|l| l.regressed)
+    }
+
+    /// Human-readable rendering, one line per metric.
+    pub fn render(&self, base: &BenchDoc, current: &BenchDoc) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# bench diff: seed={} tolerance={:.1}%",
+            base.seed,
+            self.tolerance * 100.0
+        );
+        if let Some(why) = &self.incomparable {
+            let _ = writeln!(out, "INCOMPARABLE: {why}");
+        }
+        for l in &self.lines {
+            let _ = writeln!(
+                out,
+                "{:>9} {:<16} base={:<10} current={:<10} delta={:+.2}%",
+                if l.regressed { "REGRESSED" } else { "ok" },
+                l.metric,
+                l.base,
+                l.current,
+                l.delta * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# wall (informational): base={:.3}s current={:.3}s throughput {:.1} -> {:.1} pairs/s",
+            base.wall_s, current.wall_s, base.pairs_per_wall_s, current.pairs_per_wall_s
+        );
+        out
+    }
+}
+
+/// Diffs `current` against `base`. Phase quantiles (`p50/p90/p99`)
+/// regress when `current` exceeds `base` by more than `tolerance`
+/// (relative) *and* by more than `abs_floor_us` (absolute — log-bucket
+/// granularity makes tiny relative shifts meaningless on microsecond
+/// phases). Phase counts regress on any drift beyond tolerance in
+/// either direction: losing probes is as much a regression as gaining
+/// latency.
+pub fn diff(base: &BenchDoc, current: &BenchDoc, tolerance: f64) -> DiffReport {
+    let abs_floor_us = 50;
+    let mut report = DiffReport {
+        lines: Vec::new(),
+        incomparable: None,
+        tolerance,
+    };
+    if base.seed != current.seed {
+        report.incomparable = Some(format!(
+            "seed mismatch: base {} vs current {}",
+            base.seed, current.seed
+        ));
+    } else if base.config_hash != current.config_hash {
+        report.incomparable = Some(format!(
+            "config mismatch: base {} vs current {}",
+            base.config_hash, current.config_hash
+        ));
+    }
+    for (name, b) in &base.phases {
+        let Some((_, c)) = current.phases.iter().find(|(n, _)| n == name) else {
+            report.incomparable = Some(format!("phase {name:?} missing from current run"));
+            continue;
+        };
+        let rel = |b: u64, c: u64| {
+            if b == 0 {
+                if c == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (c as f64 - b as f64) / b as f64
+            }
+        };
+        let count_delta = rel(b.count, c.count);
+        report.lines.push(DiffLine {
+            metric: format!("{name}.count"),
+            base: b.count,
+            current: c.count,
+            delta: count_delta,
+            regressed: count_delta.abs() > tolerance,
+        });
+        for (metric, bv, cv) in [
+            ("p50_us", b.p50_us, c.p50_us),
+            ("p90_us", b.p90_us, c.p90_us),
+            ("p99_us", b.p99_us, c.p99_us),
+        ] {
+            let delta = rel(bv, cv);
+            report.lines.push(DiffLine {
+                metric: format!("{name}.{metric}"),
+                base: bv,
+                current: cv,
+                delta,
+                regressed: delta > tolerance && cv.saturating_sub(bv) > abs_floor_us,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(p50: u64) -> BenchDoc {
+        BenchDoc {
+            seed: 2015,
+            config_hash: "aa".into(),
+            relays: 16,
+            samples: 2,
+            pairs: 120,
+            measured: 118,
+            failed: 2,
+            wall_s: 1.0,
+            virtual_s: 100.0,
+            pairs_per_wall_s: 120.0,
+            phases: vec![(
+                "build".into(),
+                PhaseStats {
+                    count: 300,
+                    min_us: 1000,
+                    p50_us: p50,
+                    p90_us: 9000,
+                    p99_us: 12000,
+                    max_us: 15000,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let r = diff(&bench(5000), &bench(5000), 0.10);
+        assert!(!r.failed(), "{:?}", r.lines);
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_fails() {
+        let r = diff(&bench(5000), &bench(5800), 0.10);
+        assert!(r.failed());
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.metric == "build.p50_us" && l.regressed));
+    }
+
+    #[test]
+    fn speedup_and_small_drift_pass() {
+        assert!(!diff(&bench(5000), &bench(4000), 0.10).failed());
+        assert!(!diff(&bench(5000), &bench(5400), 0.10).failed());
+    }
+
+    #[test]
+    fn seed_mismatch_is_incomparable() {
+        let mut other = bench(5000);
+        other.seed = 1;
+        assert!(diff(&bench(5000), &other, 0.10).failed());
+    }
+
+    #[test]
+    fn parses_the_perf_baseline_shape() {
+        let text = "{\"schema\":\"ting-bench-scan-v1\",\"seed\":2015,\
+                    \"config_hash\":\"00aabbccddeeff00\",\"relays\":16,\"samples\":2,\
+                    \"reps\":1,\"pairs\":120,\"measured\":118,\"failed\":2,\
+                    \"wall_s\":1.5,\"virtual_s\":99.25,\"pairs_per_wall_s\":80.0,\
+                    \"phases\":{\"build\":{\"count\":300,\"min_us\":1,\"p50_us\":2,\
+                    \"p90_us\":3,\"p99_us\":4,\"max_us\":5}}}\n";
+        let doc = parse_bench(text).unwrap();
+        assert_eq!(doc.seed, 2015);
+        assert_eq!(doc.phases.len(), 1);
+        assert_eq!(doc.phases[0].1.p99_us, 4);
+    }
+}

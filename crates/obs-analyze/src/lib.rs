@@ -1,0 +1,35 @@
+//! Trace analysis and profiling for `ting-obs-v1` exports.
+//!
+//! The `obs` layer makes every seeded run export a byte-deterministic
+//! JSONL trace; this crate is the consumer side — the `ting-prof` CLI
+//! and the library underneath it:
+//!
+//! * [`parse`] — a strict parser whose output re-renders byte-identical
+//!   through `obs::Document::render_jsonl` (property-tested);
+//! * [`lint`] — structural validation against `obs::names::REGISTRY`:
+//!   unknown events, non-monotonic clocks, leaked/mismatched spans;
+//! * [`tree`] — span-tree reconstruction, exact self-time attribution
+//!   (per-pair partitions telescope to the span duration), round
+//!   critical paths;
+//! * [`flame`] — inferno-compatible folded-stack flamegraph output;
+//! * [`attrib`] — per-relay forwarding-delay estimates (`F̂_i`) and
+//!   failure/quarantine involvement;
+//! * [`diff`] — the `BENCH_scan.json` regression gate CI runs, built on
+//!   deterministic virtual-time phase quantiles;
+//! * [`report`] — the deterministic human-readable profile.
+
+pub mod attrib;
+pub mod diff;
+pub mod flame;
+pub mod json;
+pub mod lint;
+pub mod parse;
+pub mod report;
+pub mod tree;
+
+pub use attrib::{per_relay, RelayAttribution};
+pub use diff::{diff, parse_bench, BenchDoc, DiffReport};
+pub use flame::folded_stacks;
+pub use lint::{lint, LintIssue};
+pub use parse::{parse_document, ParseError};
+pub use tree::{build, critical_path, pair_self_times, Trace};

@@ -1,0 +1,107 @@
+//! The deterministic text report `ting-prof report` prints.
+//!
+//! Everything is derived from the parsed document — same trace bytes in,
+//! same report bytes out — so a report diff is as trustworthy as a
+//! trace diff, and a golden-trace test pins the determinism.
+
+use crate::attrib::per_relay;
+use crate::tree::{critical_path, pair_self_times, Trace, SELF_TIME_LABELS};
+use obs::Document;
+use std::fmt::Write as _;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders the full profile report.
+pub fn render(doc: &Document, trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# ting-prof report  seed={} config_hash={:016x} mode={}",
+        doc.seed,
+        doc.config_hash,
+        obs::mode_name(doc.config)
+    );
+    let _ = writeln!(
+        out,
+        "rounds={} orphan_pairs={} orphan_circuits={} events={}",
+        trace.rounds.len(),
+        trace.orphan_pairs.len(),
+        trace.orphan_circuits.len(),
+        doc.events.len()
+    );
+
+    // ── Per-round summaries. ──
+    for (i, round) in trace.rounds.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "\n## round {i}: planned={} measured={} failed={} span={:.3}ms pairs={}",
+            round.planned,
+            round.measured,
+            round.failed,
+            ms(round.t1 - round.t0),
+            round.pairs.len()
+        );
+        let path = critical_path(round);
+        let _ = writeln!(out, "critical path ({} segments):", path.len());
+        for seg in &path {
+            let _ = writeln!(
+                out,
+                "  {:>12.3}ms  {:<20} [{} .. {}]",
+                ms(seg.t1 - seg.t0),
+                seg.label,
+                seg.t0,
+                seg.t1
+            );
+        }
+    }
+
+    // ── Aggregate self-time table. ──
+    let mut totals = [0u64; 6];
+    let mut pairs = 0usize;
+    let mut all_pairs = Vec::new();
+    for round in &trace.rounds {
+        all_pairs.extend(round.pairs.iter());
+    }
+    all_pairs.extend(trace.orphan_pairs.iter());
+    for pair in &all_pairs {
+        let st = pair_self_times(pair);
+        for (t, s) in totals.iter_mut().zip(st) {
+            *t += s;
+        }
+        pairs += 1;
+    }
+    let grand: u64 = totals.iter().sum();
+    let _ = writeln!(out, "\n## self time over {pairs} pair measurements");
+    let _ = writeln!(out, "{:<10} {:>14} {:>8}", "phase", "total_ms", "share");
+    for (label, t) in SELF_TIME_LABELS.iter().zip(totals) {
+        let share = if grand == 0 {
+            0.0
+        } else {
+            t as f64 / grand as f64 * 100.0
+        };
+        let _ = writeln!(out, "{label:<10} {:>14.3} {share:>7.2}%", ms(t));
+    }
+
+    // ── Per-relay attribution. ──
+    let table = per_relay(doc, trace);
+    let _ = writeln!(out, "\n## per-relay attribution ({} relays)", table.len());
+    let _ = writeln!(
+        out,
+        "{:<6} {:>9} {:>7} {:>10} {:>9} {:>6} {:>6} {:>5}",
+        "relay", "circuits", "failed", "f_est_ms", "legs", "probes", "quar", "rel"
+    );
+    for (relay, a) in &table {
+        let f_est = match a.f_est_ms {
+            Some(f) => format!("{f:.4}"),
+            None => "-".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "{relay:<6} {:>9} {:>7} {f_est:>10} {:>9} {:>6} {:>6} {:>5}",
+            a.circuits, a.failed_circuits, a.leg_circuits, a.probes, a.quarantines, a.releases
+        );
+    }
+    out
+}

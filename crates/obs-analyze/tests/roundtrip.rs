@@ -1,0 +1,158 @@
+//! Property test for the parse/render byte contract.
+//!
+//! `ting-obs-v1` has exactly one renderer (`obs::Document::render_jsonl`)
+//! and exactly one parser (`obs_analyze::parse_document`). The contract
+//! between them is not "parses to an equivalent document" but the
+//! stronger `render(parse(render(x))) == render(x)` — a parsed trace
+//! re-renders **byte-identically**, so diffing re-rendered documents is
+//! as trustworthy as diffing the original files. The adversarial cases
+//! live in the value encodings: non-finite floats render as `null`,
+//! integral floats render without a fraction (and reparse as integers
+//! that render the same bytes), `-0` must stay a float, and strings may
+//! contain every control character plus `"` and `\`.
+
+use obs::{Document, EventRecord, HistRecord, HistSummary, ObsConfig, Value};
+use obs_analyze::parse_document;
+use proptest::prelude::*;
+
+/// Decodes one generated field value; the selector steers the variant
+/// so every `Value` arm (and the non-finite float corner) gets sampled.
+fn field_value(sel: u8, bits: u64, raw: &[u8]) -> Value {
+    match sel {
+        0 => Value::U64(bits),
+        1 => Value::I64(bits as i64),
+        2 => Value::F64(f64::from_bits(bits)), // hits NaN/±inf/−0/subnormals
+        3 => Value::F64(bits as f64 / 7.0),
+        _ => Value::Str(raw.iter().map(|&b| (b % 128) as char).collect()),
+    }
+}
+
+fn dedup_by_name<T, F: Fn(&T) -> &str>(items: &mut Vec<T>, name: F) {
+    items.sort_by(|a, b| name(a).cmp(name(b)));
+    items.dedup_by(|a, b| name(a) == name(b));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn rendered_documents_reparse_and_rerender_byte_identically(
+        seed in any::<u64>(),
+        config_hash in any::<u64>(),
+        mode in 0u8..3,
+        counters in proptest::collection::vec(("[a-z0-9.]{1,10}", any::<u64>()), 0..6),
+        gauges in proptest::collection::vec(("[a-z0-9.]{1,10}", any::<i64>()), 0..6),
+        hists in proptest::collection::vec(
+            (
+                "[a-z0-9.]{1,10}",
+                any::<u64>(),
+                (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+                proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..4),
+            ),
+            0..4,
+        ),
+        events in proptest::collection::vec(
+            (
+                "[a-z0-9.]{1,12}",
+                any::<u64>(),
+                proptest::collection::vec(
+                    (
+                        "[a-z0-9_]{1,8}",
+                        0u8..5,
+                        any::<u64>(),
+                        proptest::collection::vec(any::<u8>(), 0..10),
+                    ),
+                    0..5,
+                ),
+            ),
+            0..6,
+        ),
+    ) {
+        let mut counters = counters;
+        dedup_by_name(&mut counters, |(n, _)| n.as_str());
+        let mut gauges = gauges;
+        dedup_by_name(&mut gauges, |(n, _)| n.as_str());
+
+        let mut hists: Vec<HistRecord> = hists
+            .into_iter()
+            .map(|(name, count, (min, p50, p90, p99, max), buckets)| HistRecord {
+                name,
+                count,
+                // The renderer writes a summary exactly when count > 0,
+                // and the parser enforces the same equivalence.
+                summary: (count > 0).then_some(HistSummary { min, p50, p90, p99, max }),
+                buckets,
+            })
+            .collect();
+        dedup_by_name(&mut hists, |h| h.name.as_str());
+
+        let events: Vec<EventRecord> = events
+            .into_iter()
+            .map(|(name, t_ns, fields)| EventRecord {
+                name,
+                t_ns,
+                fields: fields
+                    .into_iter()
+                    .map(|(key, sel, bits, raw)| (key, field_value(sel, bits, &raw)))
+                    .collect(),
+            })
+            .collect();
+
+        let doc = Document {
+            config: match mode {
+                0 => ObsConfig::Off,
+                1 => ObsConfig::Metrics,
+                _ => ObsConfig::Trace,
+            },
+            seed,
+            config_hash,
+            counters,
+            gauges,
+            hists,
+            events,
+        };
+
+        let first = doc.render_jsonl();
+        let reparsed = parse_document(&first)
+            .unwrap_or_else(|e| panic!("exporter output rejected: {e}\n{first}"));
+        let second = reparsed.render_jsonl();
+        prop_assert_eq!(&first, &second, "render ∘ parse must preserve bytes");
+    }
+}
+
+/// The corners the classifier leans on, pinned explicitly so a failure
+/// names the encoding rather than a random seed.
+#[test]
+fn value_encoding_corners_roundtrip() {
+    let mk = |v: Value| Document {
+        config: ObsConfig::Trace,
+        seed: 1,
+        config_hash: 2,
+        counters: vec![],
+        gauges: vec![],
+        hists: vec![],
+        events: vec![EventRecord {
+            name: "x".into(),
+            t_ns: 0,
+            fields: vec![("v".into(), v)],
+        }],
+    };
+    for v in [
+        Value::F64(f64::NAN),
+        Value::F64(f64::INFINITY),
+        Value::F64(f64::NEG_INFINITY),
+        Value::F64(-0.0),
+        Value::F64(3.0),
+        Value::F64(1e300),
+        Value::F64(5e-324),
+        Value::I64(i64::MIN),
+        Value::U64(u64::MAX),
+        Value::Str("quote \" slash \\ ctl \u{1} tab \t".into()),
+    ] {
+        let doc = mk(v.clone());
+        let first = doc.render_jsonl();
+        let second = parse_document(&first)
+            .unwrap_or_else(|e| panic!("{v:?}: {e}"))
+            .render_jsonl();
+        assert_eq!(first, second, "{v:?} broke the byte contract");
+    }
+}

@@ -7,9 +7,19 @@
 //! printed with `{}` (Rust's shortest exactly-roundtripping form), so
 //! two runs of the same seeded simulation export **byte-identical**
 //! documents — the golden-trace determinism contract.
+//!
+//! The export is factored through [`Document`], the parser-facing
+//! model of one exported run: the live registry is first snapshotted
+//! into a `Document`, then rendered by [`Document::render_jsonl`].
+//! A consumer that parses a trace back into a `Document` (see
+//! `obs-analyze`) re-renders it through the *same* code path, which is
+//! what makes `parse ∘ render` the identity on bytes.
 
 use crate::{Inner, ObsConfig, Value};
 use std::fmt::Write as _;
+
+/// The format tag every export carries in its meta header.
+pub const FORMAT: &str = "ting-obs-v1";
 
 /// 64-bit FNV-1a over raw bytes — the export's config fingerprint.
 /// Stable, dependency-free, and cheap; collision resistance is not a
@@ -37,6 +47,187 @@ pub struct ExportMeta {
     pub seed: u64,
     /// [`config_hash`] of the run configuration.
     pub config_hash: u64,
+}
+
+/// The printed summary of a non-empty histogram. The exporter derives
+/// these from the exact tracked extremes and the bucket quantiles; a
+/// parsed document keeps them verbatim (they are *not* reconstructible
+/// from the buckets alone — min/max are exact, buckets are not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSummary {
+    pub min: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+/// One exported histogram line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistRecord {
+    pub name: String,
+    pub count: u64,
+    /// Present exactly when `count > 0`.
+    pub summary: Option<HistSummary>,
+    /// `(lo, hi, n)` occupancy of each non-empty log bucket.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// One exported event line: like [`crate::Event`] but with owned names,
+/// so parsed documents need no `'static` interning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    pub name: String,
+    pub t_ns: u64,
+    pub fields: Vec<(String, Value)>,
+}
+
+/// The parser-facing model of one exported run: everything a
+/// `ting-obs-v1` JSONL document carries, in document order.
+/// [`Document::render_jsonl`] is the one and only renderer — the live
+/// exporter goes through it too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Recording level of the run (`mode` in the meta header).
+    pub config: ObsConfig,
+    pub seed: u64,
+    pub config_hash: u64,
+    /// Counters in lexicographic name order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges in lexicographic name order.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms in lexicographic name order.
+    pub hists: Vec<HistRecord>,
+    /// Events in emission order.
+    pub events: Vec<EventRecord>,
+}
+
+/// The `mode` string of a recording level, as printed in the meta
+/// header.
+pub fn mode_name(config: ObsConfig) -> &'static str {
+    match config {
+        ObsConfig::Off => "off",
+        ObsConfig::Metrics => "metrics",
+        ObsConfig::Trace => "trace",
+    }
+}
+
+impl Document {
+    /// Snapshots a live registry into the export model.
+    pub(crate) fn from_registry(inner: &Inner, meta: &ExportMeta) -> Document {
+        let counters = inner
+            .counters
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = inner
+            .gauges
+            .borrow()
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        let hists = inner
+            .hists
+            .borrow()
+            .iter()
+            .map(|(name, hist)| {
+                let h = hist.borrow();
+                HistRecord {
+                    name: name.clone(),
+                    count: h.count(),
+                    summary: (h.count() > 0).then(|| HistSummary {
+                        min: h.min().unwrap(),
+                        p50: h.quantile(0.5).unwrap(),
+                        p90: h.quantile(0.9).unwrap(),
+                        p99: h.quantile(0.99).unwrap(),
+                        max: h.max().unwrap(),
+                    }),
+                    buckets: h.buckets().collect(),
+                }
+            })
+            .collect();
+        let events = inner
+            .events
+            .borrow()
+            .iter()
+            .map(|ev| EventRecord {
+                name: ev.name.to_owned(),
+                t_ns: ev.t_ns,
+                fields: ev
+                    .fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                    .collect(),
+            })
+            .collect();
+        Document {
+            config: inner.config,
+            seed: meta.seed,
+            config_hash: meta.config_hash,
+            counters,
+            gauges,
+            hists,
+            events,
+        }
+    }
+
+    /// Renders the document as `ting-obs-v1` JSONL (see module docs for
+    /// the order). Byte-deterministic: equal documents render equal.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"meta\":{{\"format\":\"{FORMAT}\",\"mode\":\"{}\",\
+             \"seed\":{},\"config_hash\":\"{:016x}\"}}}}",
+            mode_name(self.config),
+            self.seed,
+            self.config_hash
+        );
+        for (name, value) in &self.counters {
+            let _ = write!(out, "{{\"counter\":\"");
+            push_json_escaped(&mut out, name);
+            let _ = writeln!(out, "\",\"value\":{value}}}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = write!(out, "{{\"gauge\":\"");
+            push_json_escaped(&mut out, name);
+            let _ = writeln!(out, "\",\"value\":{value}}}");
+        }
+        for h in &self.hists {
+            let _ = write!(out, "{{\"hist\":\"");
+            push_json_escaped(&mut out, &h.name);
+            let _ = write!(out, "\",\"count\":{}", h.count);
+            if let Some(s) = &h.summary {
+                let _ = write!(
+                    out,
+                    ",\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}",
+                    s.min, s.p50, s.p90, s.p99, s.max
+                );
+            }
+            out.push_str(",\"buckets\":[");
+            for (i, (lo, hi, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{lo},{hi},{n}]");
+            }
+            out.push_str("]}\n");
+        }
+        for ev in &self.events {
+            let _ = write!(out, "{{\"event\":\"");
+            push_json_escaped(&mut out, &ev.name);
+            let _ = write!(out, "\",\"t_ns\":{}", ev.t_ns);
+            for (key, value) in &ev.fields {
+                let _ = write!(out, ",\"");
+                push_json_escaped(&mut out, key);
+                out.push_str("\":");
+                push_value(&mut out, value);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
 }
 
 /// Escapes `s` into `out` as JSON string contents (without the quotes).
@@ -78,70 +269,6 @@ fn push_value(out: &mut String, v: &Value) {
     }
 }
 
-/// Renders the full registry as JSONL (see module docs for the order).
-pub(crate) fn render_jsonl(inner: &Inner, meta: &ExportMeta) -> String {
-    let mut out = String::new();
-    let mode = match inner.config {
-        ObsConfig::Off => "off",
-        ObsConfig::Metrics => "metrics",
-        ObsConfig::Trace => "trace",
-    };
-    let _ = writeln!(
-        out,
-        "{{\"meta\":{{\"format\":\"ting-obs-v1\",\"mode\":\"{mode}\",\
-         \"seed\":{},\"config_hash\":\"{:016x}\"}}}}",
-        meta.seed, meta.config_hash
-    );
-    for (name, cell) in inner.counters.borrow().iter() {
-        let _ = write!(out, "{{\"counter\":\"");
-        push_json_escaped(&mut out, name);
-        let _ = writeln!(out, "\",\"value\":{}}}", cell.get());
-    }
-    for (name, value) in inner.gauges.borrow().iter() {
-        let _ = write!(out, "{{\"gauge\":\"");
-        push_json_escaped(&mut out, name);
-        let _ = writeln!(out, "\",\"value\":{value}}}");
-    }
-    for (name, hist) in inner.hists.borrow().iter() {
-        let h = hist.borrow();
-        let _ = write!(out, "{{\"hist\":\"");
-        push_json_escaped(&mut out, name);
-        let _ = write!(out, "\",\"count\":{}", h.count());
-        if h.count() > 0 {
-            let _ = write!(
-                out,
-                ",\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}",
-                h.min().unwrap(),
-                h.quantile(0.5).unwrap(),
-                h.quantile(0.9).unwrap(),
-                h.quantile(0.99).unwrap(),
-                h.max().unwrap()
-            );
-        }
-        out.push_str(",\"buckets\":[");
-        for (i, (lo, hi, n)) in h.buckets().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "[{lo},{hi},{n}]");
-        }
-        out.push_str("]}\n");
-    }
-    for ev in inner.events.borrow().iter() {
-        let _ = write!(out, "{{\"event\":\"");
-        push_json_escaped(&mut out, ev.name);
-        let _ = write!(out, "\",\"t_ns\":{}", ev.t_ns);
-        for (key, value) in &ev.fields {
-            let _ = write!(out, ",\"");
-            push_json_escaped(&mut out, key);
-            out.push_str("\":");
-            push_value(&mut out, value);
-        }
-        out.push_str("}\n");
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +295,43 @@ mod tests {
         out.push(' ');
         push_value(&mut out, &Value::F64(f64::NAN));
         assert_eq!(out, "0.5 null");
+    }
+
+    #[test]
+    fn document_renders_summary_only_when_nonempty() {
+        let doc = Document {
+            config: ObsConfig::Trace,
+            seed: 1,
+            config_hash: 2,
+            counters: vec![],
+            gauges: vec![],
+            hists: vec![
+                HistRecord {
+                    name: "empty".into(),
+                    count: 0,
+                    summary: None,
+                    buckets: vec![],
+                },
+                HistRecord {
+                    name: "one".into(),
+                    count: 1,
+                    summary: Some(HistSummary {
+                        min: 5,
+                        p50: 5,
+                        p90: 5,
+                        p99: 5,
+                        max: 5,
+                    }),
+                    buckets: vec![(5, 5, 1)],
+                },
+            ],
+            events: vec![],
+        };
+        let out = doc.render_jsonl();
+        assert!(out.contains("{\"hist\":\"empty\",\"count\":0,\"buckets\":[]}"));
+        assert!(out.contains(
+            "{\"hist\":\"one\",\"count\":1,\"min\":5,\"p50\":5,\"p90\":5,\
+             \"p99\":5,\"max\":5,\"buckets\":[[5,5,1]]}"
+        ));
     }
 }

@@ -26,8 +26,12 @@
 pub mod export;
 pub mod hist;
 pub mod measure;
+pub mod names;
 
-pub use export::{config_hash, fnv1a64, ExportMeta};
+pub use export::{
+    config_hash, fnv1a64, mode_name, Document, EventRecord, ExportMeta, HistRecord, HistSummary,
+    FORMAT,
+};
 pub use hist::LogHistogram;
 pub use measure::{MeasurementMetrics, MeasurementSnapshot};
 
@@ -317,16 +321,23 @@ impl Obs {
             .unwrap_or_default()
     }
 
+    /// Snapshots the registry into the parser-facing export model
+    /// (see [`export::Document`]). The disabled handle yields an empty
+    /// document.
+    pub fn document(&self, meta: &ExportMeta) -> Document {
+        match &self.inner {
+            Some(inner) => Document::from_registry(inner, meta),
+            None => {
+                let off = Inner::default();
+                Document::from_registry(&off, meta)
+            }
+        }
+    }
+
     /// Renders the registry as deterministic JSONL (see [`export`]).
     /// The disabled handle exports just the meta header.
     pub fn export_jsonl(&self, meta: &ExportMeta) -> String {
-        match &self.inner {
-            Some(inner) => export::render_jsonl(inner, meta),
-            None => {
-                let off = Inner::default();
-                export::render_jsonl(&off, meta)
-            }
-        }
+        self.document(meta).render_jsonl()
     }
 }
 

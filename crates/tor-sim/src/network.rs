@@ -452,6 +452,7 @@ impl TorNetworkBuilder {
             consensus,
             controller,
             relays: relay_nodes,
+            relay_configs,
             relay_metrics,
             w_metrics,
             z_metrics,
@@ -524,6 +525,11 @@ pub struct TorNetwork {
     pub controller: Controller,
     /// The measurable relay population (excludes `w`/`z`).
     pub relays: Vec<NodeId>,
+    /// The performance parameters each relay was built with,
+    /// index-aligned with `relays`. Ground truth for per-relay
+    /// forwarding-delay attribution (see
+    /// [`RelayConfig::expected_forwarding_ms`]).
+    pub relay_configs: Vec<RelayConfig>,
     /// Per-relay observability handles, index-aligned with `relays`.
     pub relay_metrics: Vec<RelayMetrics>,
     /// Metrics for the local relays.
@@ -548,6 +554,13 @@ impl TorNetwork {
     /// handle when none was).
     pub fn obs(&self) -> &Obs {
         self.sim.obs()
+    }
+
+    /// The build-time performance parameters of a measurable relay
+    /// (`None` for non-relay nodes and the local `w`/`z` pairs).
+    pub fn relay_config(&self, node: NodeId) -> Option<&RelayConfig> {
+        let i = self.relays.iter().position(|&n| n == node)?;
+        Some(&self.relay_configs[i])
     }
 
     /// Publishes aggregate relay-layer totals (cells processed,
@@ -657,7 +670,7 @@ impl TorNetwork {
         obs.inc("tor.relay.crashes");
         if obs.is_tracing() {
             obs.event(
-                "tor.relay.crash",
+                obs::names::TOR_RELAY_CRASH,
                 now.as_nanos(),
                 vec![("node", Value::U64(u64::from(relay.0)))],
             );
@@ -672,7 +685,7 @@ impl TorNetwork {
         obs.inc("tor.relay.revives");
         if obs.is_tracing() {
             obs.event(
-                "tor.relay.revive",
+                obs::names::TOR_RELAY_REVIVE,
                 self.sim.now().as_nanos(),
                 vec![("node", Value::U64(u64::from(relay.0)))],
             );
@@ -720,7 +733,7 @@ impl TorNetwork {
         if obs.is_tracing() {
             for &node in &departed {
                 obs.event(
-                    "tor.churn.departed",
+                    obs::names::TOR_CHURN_DEPARTED,
                     now.as_nanos(),
                     vec![("node", Value::U64(u64::from(node.0)))],
                 );
@@ -746,7 +759,7 @@ impl TorNetwork {
         obs.set_gauge("tor.consensus.running", running as i64);
         if obs.is_tracing() {
             obs.event(
-                "tor.consensus.refresh",
+                obs::names::TOR_CONSENSUS_REFRESH,
                 now.as_nanos(),
                 vec![
                     ("running", Value::U64(running)),

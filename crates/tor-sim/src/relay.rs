@@ -47,6 +47,26 @@ pub struct RelayConfig {
     pub busy_mean_ms: f64,
 }
 
+impl RelayConfig {
+    /// The mean per-cell forwarding delay this config induces:
+    /// the crypto floor plus the expected queueing excess
+    /// (`busy_prob · busy_mean_ms`). This is the ground truth a §4.3
+    /// forwarding-delay estimator should recover, so trace-analysis
+    /// tests correlate their per-relay attributions against it.
+    pub fn expected_forwarding_ms(&self) -> f64 {
+        self.base_proc_ms + self.expected_queueing_ms()
+    }
+
+    /// The queueing part of the forwarding delay alone. An estimator
+    /// that subtracts a minimum-RTT floor cancels `base_proc_ms` along
+    /// with propagation (both sit in every probe, including the
+    /// fastest), so what it can actually recover per relay is this
+    /// excess term.
+    pub fn expected_queueing_ms(&self) -> f64 {
+        self.busy_prob * self.busy_mean_ms
+    }
+}
+
 impl Default for RelayConfig {
     fn default() -> Self {
         RelayConfig {
