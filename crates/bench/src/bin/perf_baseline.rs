@@ -10,7 +10,10 @@
 //!
 //! Environment overrides: `TING_SEED`, `TING_RELAYS` (default 40),
 //! `TING_SAMPLES` (default 3), `TING_REPS` (default 3; wall time is
-//! the minimum over reps, the least-noise estimator).
+//! the minimum over reps, the least-noise estimator), and `TING_PAIRS`
+//! (optional: cap pairs scanned in the round, so large-relay configs —
+//! e.g. the 300-relay baseline — stay affordable in CI; when set it
+//! joins the config hash, so capped and uncapped runs never compare).
 
 use bench::{env_u64, env_usize, seed};
 use netsim::{NodeId, SimTime};
@@ -27,7 +30,7 @@ struct RunResult {
     obs: Obs,
 }
 
-fn run_once(seed: u64, relays: usize, samples: usize) -> RunResult {
+fn run_once(seed: u64, relays: usize, samples: usize, cap: Option<usize>) -> RunResult {
     let obs = Obs::new(ObsConfig::Metrics);
     let mut net = TorNetworkBuilder::live(seed, relays)
         .observability(obs.clone())
@@ -37,7 +40,7 @@ fn run_once(seed: u64, relays: usize, samples: usize) -> RunResult {
     let mut scanner = Scanner::new(
         nodes,
         ScannerConfig {
-            pairs_per_round: pairs,
+            pairs_per_round: cap.map_or(pairs, |c| c.min(pairs)),
             ..ScannerConfig::default()
         },
     );
@@ -74,11 +77,14 @@ fn main() {
     let samples = env_usize("TING_SAMPLES", 3);
     let reps = env_usize("TING_REPS", 3).max(1);
     let seed = env_u64("TING_SEED", seed());
+    let cap = std::env::var("TING_PAIRS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
     let out_path = std::env::var("TING_BENCH_OUT").unwrap_or_else(|_| "BENCH_scan.json".to_owned());
 
     let mut best: Option<RunResult> = None;
     for rep in 0..reps {
-        let r = run_once(seed, relays, samples);
+        let r = run_once(seed, relays, samples, cap);
         println!(
             "# rep {rep}: wall_s={:.3} virtual_s={:.1} measured={} failed={}",
             r.wall_s, r.virtual_s, r.measured, r.failed
@@ -91,18 +97,28 @@ fn main() {
     let pairs = best.measured + best.failed;
     let rate = pairs as f64 / best.wall_s.max(f64::MIN_POSITIVE);
 
+    // The cap joins the hashed config string only when set, so every
+    // historical (uncapped) baseline keeps its hash and stays
+    // comparable.
+    let mut config = format!("scan relays={relays} samples={samples}");
+    if let Some(c) = cap {
+        let _ = write!(config, " pairs={c}");
+    }
     let mut json = String::new();
     let _ = write!(
         json,
         "{{\"schema\":\"ting-bench-scan-v1\",\"seed\":{seed},\"config_hash\":\"{:016x}\",\
-         \"relays\":{relays},\"samples\":{samples},\"reps\":{reps},\
-         \"pairs\":{pairs},\"measured\":{},\"failed\":{},\
+         \"relays\":{relays},\"samples\":{samples},\"reps\":{reps},",
+        config_hash(&config),
+    );
+    if let Some(c) = cap {
+        let _ = write!(json, "\"pairs_cap\":{c},");
+    }
+    let _ = write!(
+        json,
+        "\"pairs\":{pairs},\"measured\":{},\"failed\":{},\
          \"wall_s\":{:.6},\"virtual_s\":{:.3},\"pairs_per_wall_s\":{rate:.3}",
-        config_hash(&format!("scan relays={relays} samples={samples}")),
-        best.measured,
-        best.failed,
-        best.wall_s,
-        best.virtual_s,
+        best.measured, best.failed, best.wall_s, best.virtual_s,
     );
     json.push_str(",\"phases\":{");
     for (i, (key, hist)) in [

@@ -5,10 +5,11 @@
 //! has a counter-measure here:
 //!
 //! * **Torn writes** — the process dies mid-`write(2)`. Checkpoints are
-//!   written to a `<path>.tmp` sibling and renamed into place
-//!   ([`tmp_path`] + `std::fs::rename`), which is atomic on POSIX
-//!   filesystems: the destination either holds the old document or the
-//!   new one, never a prefix.
+//!   written to a `<path>.tmp` sibling, **fsynced**, and renamed into
+//!   place ([`write_atomic`]): the rename is atomic on POSIX
+//!   filesystems and the fsync orders the data before it, so the
+//!   destination either holds the old document or the complete new one,
+//!   never a prefix — even across a power loss right after the rename.
 //! * **Corruption at rest** — bit rot, filesystem bugs, a stray editor.
 //!   The v2 checkpoint format ends with a CRC-32 trailer line covering
 //!   every preceding byte ([`crc32`], [`seal`], [`verify_sealed`]); any
@@ -19,6 +20,7 @@
 //!   ([`bak_path`]), so [`crate::scanner::Scanner::recover`] can fall
 //!   back to the last good generation.
 
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// The CRC-32 (IEEE 802.3, reflected, `0xEDB88320`) of `bytes` — the
@@ -75,6 +77,29 @@ pub fn verify_sealed(text: &str) -> Result<&str, String> {
         ));
     }
     Ok(body)
+}
+
+/// Writes `contents` to `path` atomically and durably: the bytes go to
+/// the [`tmp_path`] sibling, which is **fsynced before** the rename —
+/// POSIX rename atomicity only orders the directory entry, not the file
+/// data, so without the fsync a power loss right after the rename could
+/// leave the new name pointing at zero-length or partially-written
+/// data. After the rename the parent directory is fsynced too (best
+/// effort — not every filesystem supports directory handles) so the
+/// rename itself survives the crash.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// The temp-file sibling used for atomic writes.

@@ -43,8 +43,11 @@
 //!   successful durations;
 //! * [`validate`] — lightspeed/divergence/TIV cross-checks gating
 //!   estimates before they reach the cache;
-//! * [`checkpoint`] — CRC-sealed, atomically-written checkpoint
-//!   plumbing behind [`scanner::Scanner::save`]/`recover`;
+//! * [`checkpoint`] — CRC-sealed, atomically-written (and fsynced)
+//!   checkpoint plumbing behind [`scanner::Scanner::save`]/`recover`;
+//! * [`shard`] — crash-isolated scan shards under a supervising
+//!   restart budget, with a deterministic merge over shard
+//!   checkpoints and degraded-mode coverage reporting;
 //! * [`backoff`] — the shared exponential/jittered backoff arithmetic;
 //! * [`obs`] (re-exported crate) — the unified observability layer:
 //!   counters, log-bucketed latency histograms, virtual-time trace
@@ -67,6 +70,7 @@ pub mod queue;
 pub mod report;
 pub mod sampling;
 pub mod scanner;
+pub mod shard;
 pub mod strawman;
 pub mod timeout;
 pub mod validate;
@@ -82,5 +86,9 @@ pub use queue::WorkQueue;
 pub use report::{CampaignReport, QualityFlag};
 pub use sampling::SamplePolicy;
 pub use scanner::{Scanner, ScannerConfig};
+pub use shard::{
+    merge_checkpoints, partition_pairs, MergeOutcome, ShardCoverage, ShardStatus, Supervisor,
+    SupervisorConfig, SupervisorReport,
+};
 pub use timeout::{AdaptiveTimeoutConfig, TimeoutEstimators, TimeoutPhase};
 pub use validate::{ValidationConfig, ValidationError, Verdict};

@@ -63,6 +63,11 @@ pub struct WorkQueue {
     /// keep their `state` entry current but live in no tier set, so
     /// `plan`/`backlog` skip them entirely until the relay is released.
     parked: BTreeSet<(u32, u32)>,
+    /// Pairs permanently out of scope (owned by another shard — see
+    /// [`crate::shard`]). Like parked pairs they keep their `state`
+    /// entry but live in no tier set; unlike parked pairs they are
+    /// never released and never picked as probation probes.
+    retired: BTreeSet<(u32, u32)>,
 }
 
 impl WorkQueue {
@@ -95,6 +100,7 @@ impl WorkQueue {
             backoff: BTreeSet::new(),
             quarantined: BTreeSet::new(),
             parked: BTreeSet::new(),
+            retired: BTreeSet::new(),
         }
     }
 
@@ -148,9 +154,9 @@ impl WorkQueue {
     /// Records a successful measurement at `at`. Clears any backoff.
     pub fn on_measured(&mut self, a: NodeId, b: NodeId, at: SimTime) {
         let key = self.pair_key(a, b);
-        // A parked pair (probation probe outcome) keeps its state
-        // current without re-entering any tier.
-        if self.parked.contains(&key) {
+        // A parked pair (probation probe outcome) or a retired pair
+        // keeps its state current without re-entering any tier.
+        if self.parked.contains(&key) || self.retired.contains(&key) {
             self.state.insert(key, PairState::Fresh(at));
             return;
         }
@@ -165,7 +171,7 @@ impl WorkQueue {
     /// it in (unmeasured, or stale/fresh by its last success).
     pub fn on_failed(&mut self, a: NodeId, b: NodeId, until: SimTime) {
         let key = self.pair_key(a, b);
-        if self.parked.contains(&key) {
+        if self.parked.contains(&key) || self.retired.contains(&key) {
             let measured = match self.state[&key] {
                 PairState::Unmeasured => None,
                 PairState::Fresh(t) | PairState::Stale(t) => Some(t),
@@ -202,10 +208,40 @@ impl WorkQueue {
             .collect();
         keys.sort_unstable();
         for key in keys {
+            // Retired pairs are already out of every tier and must not
+            // leak back in through a later release.
+            if self.retired.contains(&key) {
+                continue;
+            }
             if self.parked.insert(key) {
                 self.detach(key);
             }
         }
+    }
+
+    /// Permanently removes a pair from scheduling: it leaves whatever
+    /// tier holds it and never re-enters one, though measurement
+    /// outcomes still keep its `state` entry current. This is how a
+    /// shard-scoped scanner disowns the pairs other shards measure (see
+    /// [`crate::shard::partition_pairs`]). Irreversible; no-op on
+    /// unknown or already-retired pairs.
+    pub fn retire(&mut self, a: NodeId, b: NodeId) {
+        let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+            return;
+        };
+        let (ia, ib) = (ia as u32, ib as u32);
+        let key = if ia <= ib { (ia, ib) } else { (ib, ia) };
+        if !self.state.contains_key(&key) || !self.retired.insert(key) {
+            return;
+        }
+        if !self.parked.remove(&key) {
+            self.detach(key);
+        }
+    }
+
+    /// Pairs permanently retired from scheduling.
+    pub fn retired_pairs(&self) -> usize {
+        self.retired.len()
     }
 
     /// Releases `node` from quarantine: its parked pairs re-enter their
@@ -435,6 +471,46 @@ mod tests {
         // never-measured pairs queue up.
         assert_eq!(
             q.plan(t(5), 10),
+            vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))]
+        );
+    }
+
+    #[test]
+    fn retired_pairs_never_schedule_again() {
+        let mut q = queue(3);
+        q.retire(NodeId(0), NodeId(2));
+        q.retire(NodeId(2), NodeId(0)); // symmetric + repeated: no-op
+        assert_eq!(q.retired_pairs(), 1);
+        assert_eq!(
+            q.plan(t(0), 10),
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]
+        );
+        assert_eq!(q.backlog(t(0)), 2);
+        // Outcomes keep state current without re-entering a tier.
+        q.on_measured(NodeId(0), NodeId(2), t(1));
+        q.on_failed(NodeId(0), NodeId(2), t(2));
+        assert_eq!(q.backlog(t(500)), 2);
+        // Quarantine + release of an endpoint must not resurrect it.
+        q.quarantine(NodeId(0));
+        q.release(NodeId(0));
+        assert_eq!(q.backlog(t(500)), 2);
+        assert_eq!(
+            q.plan(t(500), 10),
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]
+        );
+    }
+
+    #[test]
+    fn retiring_a_parked_pair_unparks_it_for_good() {
+        let mut q = queue(3);
+        q.quarantine(NodeId(0));
+        assert_eq!(q.parked_pairs(), 2);
+        q.retire(NodeId(0), NodeId(1));
+        assert_eq!(q.parked_pairs(), 1);
+        q.release(NodeId(0));
+        // (0,1) is retired, (0,2) returns.
+        assert_eq!(
+            q.plan(t(0), 10),
             vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))]
         );
     }

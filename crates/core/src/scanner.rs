@@ -17,8 +17,8 @@ use crate::queue::WorkQueue;
 use crate::validate::{validate, ValidationConfig, ValidationContext, ValidationError, Verdict};
 use geo::GeoPoint;
 use netsim::{NodeId, SimDuration, SimTime};
-use obs::Value;
-use std::collections::HashMap;
+use obs::{Obs, Value};
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use tor_sim::TorNetwork;
 
@@ -93,6 +93,10 @@ pub struct Scanner {
     /// Node geolocations for the lightspeed validation bound (see
     /// [`Scanner::load_locations`]); pairs without locations skip it.
     locations: HashMap<NodeId, GeoPoint>,
+    /// When set, only these pairs are scheduled — the rest are retired
+    /// from the queue (see [`Scanner::restrict_to`]). `None` means the
+    /// scanner owns the whole matrix, the pre-shard behaviour.
+    scope: Option<HashSet<(NodeId, NodeId)>>,
 }
 
 impl Scanner {
@@ -106,12 +110,48 @@ impl Scanner {
             queue: WorkQueue::new(nodes, config.staleness),
             health: config.health.map(RelayHealth::new),
             locations: HashMap::new(),
+            scope: None,
         }
+    }
+
+    /// Restricts the scanner to `owned` pairs, permanently retiring
+    /// every other pair from its work queue. This is the shard-scoping
+    /// primitive behind [`crate::shard::Supervisor`]: each shard runs a
+    /// full scanner over the whole node list (so checkpoints and
+    /// matrices stay globally indexed) but schedules only the pairs the
+    /// partitioner assigned to it. Restricting to every pair is a
+    /// no-op, which keeps a one-shard supervised scan bit-identical to
+    /// an unsharded one.
+    ///
+    /// Scope is derived state, not checkpointed — re-apply it after
+    /// [`Scanner::from_checkpoint`], as [`crate::shard::Supervisor`]
+    /// does on every shard restart.
+    pub fn restrict_to(&mut self, owned: &[(NodeId, NodeId)]) {
+        let owned: HashSet<(NodeId, NodeId)> = owned.iter().map(|&(a, b)| key(a, b)).collect();
+        let nodes = self.matrix.nodes().to_vec();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                if !owned.contains(&key(a, b)) {
+                    self.queue.retire(a, b);
+                }
+            }
+        }
+        self.scope = Some(owned);
+    }
+
+    /// The restricted pair scope, if any.
+    pub fn scope(&self) -> Option<&HashSet<(NodeId, NodeId)>> {
+        self.scope.as_ref()
     }
 
     /// The current cached dataset.
     pub fn matrix(&self) -> &RttMatrix {
         &self.matrix
+    }
+
+    /// The scanner's policy knobs.
+    pub fn config(&self) -> &ScannerConfig {
+        &self.config
     }
 
     /// The relay health model, if enabled.
@@ -163,6 +203,9 @@ impl Scanner {
         for (i, &a) in nodes.iter().enumerate() {
             for &b in &nodes[i + 1..] {
                 let k = key(a, b);
+                if self.scope.as_ref().is_some_and(|s| !s.contains(&k)) {
+                    continue; // owned by another shard
+                }
                 if let Some(f) = self.pending_retry.get(&k) {
                     if now < f.next_attempt_at {
                         continue; // backing off
@@ -946,15 +989,13 @@ impl Scanner {
     /// good generation to fall back to.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let path = path.as_ref();
-        let tmp = crate::checkpoint::tmp_path(path);
-        std::fs::write(&tmp, self.to_checkpoint())?;
         if let Ok(old) = std::fs::read_to_string(path) {
             // Never promote a corrupt primary over a good backup.
             if Scanner::from_checkpoint(&old).is_ok() {
                 std::fs::rename(path, crate::checkpoint::bak_path(path))?;
             }
         }
-        std::fs::rename(&tmp, path)
+        crate::checkpoint::write_atomic(path, &self.to_checkpoint())
     }
 
     /// Loads a scanner from a checkpoint file.
@@ -969,11 +1010,39 @@ impl Scanner {
     /// missing, truncated, or corrupt. The primary's error is preserved
     /// when both fail.
     pub fn recover(path: impl AsRef<std::path::Path>) -> std::io::Result<Scanner> {
+        Scanner::recover_observed(path, &Obs::off(), SimTime::ZERO)
+    }
+
+    /// [`Scanner::recover`] with the fallback made visible: when the
+    /// primary is refused and the `.bak` generation loads instead, the
+    /// `ting.checkpoint.recovered_bak` counter is incremented and (at
+    /// trace level) a [`obs::names::SCAN_RECOVER_BAK`] event records
+    /// the path and the primary's error — silent recovery from a
+    /// corrupt checkpoint is itself a signal worth alerting on.
+    pub fn recover_observed(
+        path: impl AsRef<std::path::Path>,
+        obs: &Obs,
+        now: SimTime,
+    ) -> std::io::Result<Scanner> {
         let path = path.as_ref();
         match Scanner::load(path) {
             Ok(s) => Ok(s),
             Err(primary_err) => {
-                Scanner::load(crate::checkpoint::bak_path(path)).map_err(|_| primary_err)
+                let s = Scanner::load(crate::checkpoint::bak_path(path)).map_err(|_| {
+                    std::io::Error::new(primary_err.kind(), primary_err.to_string())
+                })?;
+                obs.inc("ting.checkpoint.recovered_bak");
+                if obs.is_tracing() {
+                    obs.event(
+                        obs::names::SCAN_RECOVER_BAK,
+                        now.as_nanos(),
+                        vec![
+                            ("path", Value::Str(path.display().to_string())),
+                            ("primary_error", Value::Str(primary_err.to_string())),
+                        ],
+                    );
+                }
+                Ok(s)
             }
         }
     }

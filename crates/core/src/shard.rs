@@ -1,0 +1,788 @@
+//! Sharded scan supervision: crash-isolated shards under a restart
+//! budget, with a deterministic merge.
+//!
+//! A consensus-scale campaign (~6,600 relays, ~22M pairs) cannot afford
+//! a monolithic scanner: one poisoned vantage or one corrupt checkpoint
+//! stalls or restarts the whole scan. [`partition_pairs`] splits the
+//! pair matrix into disjoint shards; each shard runs a full
+//! [`Scanner`] restricted to its pairs ([`Scanner::restrict_to`]), so
+//! it owns a shard-local work queue, relay-health state, adaptive
+//! timeout estimators, and its own CRC-sealed checkpoint. The
+//! [`Supervisor`] drives the shards round-robin and supervises them the
+//! way an init system supervises processes:
+//!
+//! * **Heartbeats** — a shard that stops making progress for longer
+//!   than [`SupervisorConfig::heartbeat_timeout`] (virtual time) is
+//!   declared stuck, killed, and restarted from its last checkpoint.
+//! * **Restart budget** — each restart waits a
+//!   [`crate::backoff::exponential`] pause; a shard that exhausts
+//!   [`SupervisorConfig::restart_budget`] restarts is quarantined and
+//!   the scan continues **degraded**: the remaining shards keep making
+//!   progress, and the merged matrix reports the dead shard's pairs as
+//!   uncovered with staleness metadata instead of blocking.
+//! * **Checkpoint fallback** — a shard whose checkpoint is refused on
+//!   restart falls back to the supervisor's in-memory copy, then to a
+//!   fresh scanner (re-measuring its pairs), rather than wedging.
+//!
+//! The merge ([`merge_checkpoints`]) is a fixed shard-ordering
+//! reduction over shard checkpoints. Shard ownership is disjoint, so
+//! the result is invariant to shard completion order, and at shard
+//! count 1 the supervised scan is bit-identical to the unsharded
+//! [`Scanner`] — both properties are tested in
+//! `crates/core/tests/shard_scan.rs`.
+
+use crate::orchestrator::{Ting, TingConfig};
+use crate::scanner::{RoundReport, Scanner, ScannerConfig};
+use netsim::{NodeId, SimDuration, SimTime};
+use obs::{names, Obs, Value};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use tor_sim::TorNetwork;
+
+/// Assigns every unordered pair of `nodes` to one of `shards` shards,
+/// round-robin by the pair's position in `(i, j)` index order. The
+/// assignment is deterministic, covers every pair exactly once, and
+/// balances shard sizes within one pair; when `shards` exceeds the
+/// pair count the surplus shards own nothing (legal — they complete
+/// immediately).
+///
+/// # Panics
+/// Panics when `shards` is zero.
+pub fn partition_pairs(nodes: &[NodeId], shards: usize) -> Vec<Vec<(NodeId, NodeId)>> {
+    assert!(shards > 0, "shard count must be positive");
+    let mut owned = vec![Vec::new(); shards];
+    let mut p = 0usize;
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            owned[p % shards].push((a, b));
+            p += 1;
+        }
+    }
+    owned
+}
+
+/// Supervision policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Number of shards the pair matrix is partitioned into.
+    pub shards: usize,
+    /// Per-shard scanner policy (staleness, round budget, health,
+    /// validation). `pairs_per_round` applies per shard.
+    pub scanner: ScannerConfig,
+    /// A shard that has made no progress for this long (virtual time)
+    /// is declared stuck and restarted. Progress means a round that
+    /// measured or failed at least one pair, or had no eligible work.
+    pub heartbeat_timeout: SimDuration,
+    /// Restarts allowed per shard before it is quarantined.
+    pub restart_budget: u32,
+    /// Base pause before restart `k`; escalates as
+    /// `min(base · 2^(k−1), cap)` via [`crate::backoff::exponential`].
+    pub restart_backoff: SimDuration,
+    /// Ceiling on a single restart pause.
+    pub restart_backoff_cap: SimDuration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            shards: 4,
+            scanner: ScannerConfig::default(),
+            heartbeat_timeout: SimDuration::from_hours(2),
+            restart_budget: 3,
+            restart_backoff: SimDuration::from_secs(300),
+            restart_backoff_cap: SimDuration::from_hours(1),
+        }
+    }
+}
+
+/// A shard's supervision state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Scanning normally.
+    Running,
+    /// Crashed or stalled; resumes from its checkpoint at `at`.
+    Restarting { at: SimTime },
+    /// Restart budget exhausted; permanently excluded. Its pairs stay
+    /// at whatever coverage its last checkpoint reached.
+    Quarantined,
+}
+
+impl ShardStatus {
+    /// The status tag used in merged-document coverage rows.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ShardStatus::Running => "live",
+            ShardStatus::Restarting { .. } => "restarting",
+            ShardStatus::Quarantined => "dead",
+        }
+    }
+}
+
+/// One supervised shard: its live scanner + driver (absent while
+/// crashed), last-known-good checkpoint, and supervision bookkeeping.
+struct ShardSlot {
+    id: u32,
+    owned: Vec<(NodeId, NodeId)>,
+    scanner: Option<Scanner>,
+    ting: Option<Ting>,
+    /// Last sealed checkpoint, refreshed after every completed round.
+    /// Always parseable: initialized from the empty scanner.
+    checkpoint: String,
+    /// Adaptive-timeout estimator export taken with the checkpoint.
+    timeouts: String,
+    status: ShardStatus,
+    restarts: u32,
+    last_progress: SimTime,
+    started: bool,
+    /// Chaos hook: the shard is wedged (alive but doing nothing) until
+    /// this instant; only the supervisor's heartbeat can free it.
+    wedged_until: Option<SimTime>,
+}
+
+/// Aggregate outcome of one supervised round across all shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SupervisorReport {
+    pub measured: usize,
+    pub failed: usize,
+    /// Total eligible backlog across shards that ran this round.
+    pub still_pending: usize,
+    /// Shards that executed a scan round.
+    pub shards_run: usize,
+    /// Shards waiting out a restart pause (or wedged).
+    pub shards_waiting: usize,
+    /// Shards permanently quarantined.
+    pub shards_quarantined: usize,
+}
+
+/// Per-shard coverage and staleness in a merged matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCoverage {
+    pub shard: u32,
+    /// `"live"`, `"restarting"`, or `"dead"`.
+    pub status: &'static str,
+    /// Pairs the partitioner assigned to this shard.
+    pub owned: usize,
+    /// Owned pairs with a cached estimate.
+    pub covered: usize,
+    /// Covered pairs older than the staleness horizon at merge time.
+    pub stale: usize,
+    /// Owned pairs with no estimate at all.
+    pub uncovered: usize,
+    /// Oldest / newest measurement timestamp among covered pairs.
+    pub oldest_ns: Option<u64>,
+    pub newest_ns: Option<u64>,
+}
+
+/// The deterministic reduction over shard checkpoints.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    pub matrix: crate::matrix::RttMatrix,
+    pub measured_at: HashMap<(NodeId, NodeId), SimTime>,
+    /// One row per shard, in shard-id order.
+    pub shards: Vec<ShardCoverage>,
+    /// The merge instant staleness was judged against.
+    pub now: SimTime,
+}
+
+impl MergeOutcome {
+    /// Renders the merged matrix as a deterministic, CRC-sealed text
+    /// document: coverage rows in shard order, then matrix rows in
+    /// `(i, j)` index order with their measurement timestamps. Two
+    /// merges of equal shard state render bit-identically regardless
+    /// of shard completion order — this document is what the soak
+    /// harness compares across kill/resume boundaries.
+    pub fn to_document(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# ting merged matrix v1\n");
+        out.push_str("# nodes:");
+        for n in self.matrix.nodes() {
+            let _ = write!(out, " {}", n.0);
+        }
+        out.push('\n');
+        let _ = writeln!(out, "# now_ns: {}", self.now.as_nanos());
+        for c in &self.shards {
+            let _ = writeln!(
+                out,
+                "s\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                c.shard,
+                c.status,
+                c.owned,
+                c.covered,
+                c.stale,
+                c.uncovered,
+                c.oldest_ns.map_or("-".into(), |t| t.to_string()),
+                c.newest_ns.map_or("-".into(), |t| t.to_string()),
+            );
+        }
+        let nodes = self.matrix.nodes().to_vec();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                if let Some(rtt) = self.matrix.get(a, b) {
+                    let t = self.measured_at[&ordered(a, b)];
+                    let _ = writeln!(out, "m\t{}\t{}\t{}\t{}", a.0, b.0, rtt, t.as_nanos());
+                }
+            }
+        }
+        crate::checkpoint::seal(out)
+    }
+
+    /// Owned-pair coverage across every shard, `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        let owned: usize = self.shards.iter().map(|c| c.owned).sum();
+        if owned == 0 {
+            return 1.0;
+        }
+        let covered: usize = self.shards.iter().map(|c| c.covered).sum();
+        covered as f64 / owned as f64
+    }
+}
+
+/// Merges shard checkpoints into one matrix: a fixed shard-ordering
+/// reduction. Entries are `(shard id, status tag from`
+/// [`ShardStatus::tag`]`, sealed checkpoint text)`; ids must be exactly
+/// `0..entries.len()`, in any order — the reduction sorts them, and
+/// because [`partition_pairs`] ownership is disjoint the merged matrix
+/// is invariant to the order shards completed (or crashed) in. Each
+/// shard contributes only the pairs it owns; anything else in its
+/// checkpoint (possible after an ownership change) is ignored.
+pub fn merge_checkpoints(
+    entries: &[(u32, &'static str, String)],
+    now: SimTime,
+) -> Result<MergeOutcome, String> {
+    if entries.is_empty() {
+        return Err("no shard checkpoints to merge".into());
+    }
+    let mut sorted: Vec<&(u32, &'static str, String)> = entries.iter().collect();
+    sorted.sort_by_key(|e| e.0);
+    for (want, e) in sorted.iter().enumerate() {
+        if e.0 as usize != want {
+            return Err(format!(
+                "shard ids must be exactly 0..{}, got {}",
+                entries.len(),
+                e.0
+            ));
+        }
+    }
+    let parsed: Vec<Scanner> = sorted
+        .iter()
+        .map(|e| Scanner::from_checkpoint(&e.2).map_err(|err| format!("shard {}: {err}", e.0)))
+        .collect::<Result<_, _>>()?;
+    let nodes = parsed[0].matrix().nodes().to_vec();
+    for (e, s) in sorted.iter().zip(&parsed) {
+        if s.matrix().nodes() != nodes.as_slice() {
+            return Err(format!("shard {}: node list differs from shard 0", e.0));
+        }
+    }
+    let staleness = parsed[0].config().staleness;
+    let owned = partition_pairs(&nodes, sorted.len());
+    let mut matrix = crate::matrix::RttMatrix::new(nodes);
+    let mut measured_at = HashMap::new();
+    let mut shards = Vec::with_capacity(sorted.len());
+    for ((e, s), owned) in sorted.iter().zip(&parsed).zip(&owned) {
+        let mut covered = 0;
+        let mut stale = 0;
+        let mut oldest: Option<u64> = None;
+        let mut newest: Option<u64> = None;
+        for &(a, b) in owned {
+            let (Some(rtt), Some(t)) = (s.matrix().get(a, b), s.measured_at(a, b)) else {
+                continue;
+            };
+            matrix.set(a, b, rtt);
+            measured_at.insert(ordered(a, b), t);
+            covered += 1;
+            if now.since(t) >= staleness {
+                stale += 1;
+            }
+            let t_ns = t.as_nanos();
+            oldest = Some(oldest.map_or(t_ns, |o| o.min(t_ns)));
+            newest = Some(newest.map_or(t_ns, |n| n.max(t_ns)));
+        }
+        shards.push(ShardCoverage {
+            shard: e.0,
+            status: e.1,
+            owned: owned.len(),
+            covered,
+            stale,
+            uncovered: owned.len() - covered,
+            oldest_ns: oldest,
+            newest_ns: newest,
+        });
+    }
+    Ok(MergeOutcome {
+        matrix,
+        measured_at,
+        shards,
+        now,
+    })
+}
+
+/// The shard supervisor: drives every shard's scan rounds, detects
+/// stalls, restarts crashed shards from their checkpoints under the
+/// restart budget, quarantines repeat offenders, and merges shard
+/// state into one matrix. See the module docs for the supervision
+/// policy.
+pub struct Supervisor {
+    config: SupervisorConfig,
+    ting_config: TingConfig,
+    obs: Obs,
+    nodes: Vec<NodeId>,
+    slots: Vec<ShardSlot>,
+    /// When set, each shard persists `shard-<id>.ckpt` here after every
+    /// round and restarts recover through [`Scanner::recover_observed`]
+    /// (primary, then `.bak`, then the in-memory copy, then fresh).
+    checkpoint_dir: Option<PathBuf>,
+}
+
+impl Supervisor {
+    /// A supervisor with observability off.
+    pub fn new(
+        nodes: Vec<NodeId>,
+        config: SupervisorConfig,
+        ting_config: TingConfig,
+    ) -> Supervisor {
+        Supervisor::with_obs(nodes, config, ting_config, Obs::off())
+    }
+
+    /// A supervisor recording shard lifecycle events (and everything
+    /// the shards' scanners emit) into `obs`.
+    pub fn with_obs(
+        nodes: Vec<NodeId>,
+        config: SupervisorConfig,
+        ting_config: TingConfig,
+        obs: Obs,
+    ) -> Supervisor {
+        let owned = partition_pairs(&nodes, config.shards);
+        let slots = owned
+            .into_iter()
+            .enumerate()
+            .map(|(id, owned)| {
+                let mut scanner = Scanner::new(nodes.clone(), config.scanner);
+                scanner.restrict_to(&owned);
+                let checkpoint = scanner.to_checkpoint();
+                ShardSlot {
+                    id: id as u32,
+                    owned,
+                    scanner: Some(scanner),
+                    ting: Some(Ting::with_obs(ting_config, obs.clone())),
+                    checkpoint,
+                    timeouts: String::new(),
+                    status: ShardStatus::Running,
+                    restarts: 0,
+                    last_progress: SimTime::ZERO,
+                    started: false,
+                    wedged_until: None,
+                }
+            })
+            .collect();
+        Supervisor {
+            config,
+            ting_config,
+            obs,
+            nodes,
+            slots,
+            checkpoint_dir: None,
+        }
+    }
+
+    /// Enables file-backed shard checkpoints under `dir`.
+    pub fn set_checkpoint_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.checkpoint_dir = Some(dir.into());
+    }
+
+    /// Registers every shard's node locations for lightspeed
+    /// validation. Call once after construction (and the supervisor
+    /// re-applies it on every restart).
+    pub fn load_locations(&mut self, net: &TorNetwork) {
+        for slot in &mut self.slots {
+            if let Some(s) = slot.scanner.as_mut() {
+                s.load_locations(net);
+            }
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The supervision state of shard `k`.
+    pub fn status(&self, k: usize) -> ShardStatus {
+        self.slots[k].status
+    }
+
+    /// Restarts consumed by shard `k`.
+    pub fn restarts(&self, k: usize) -> u32 {
+        self.slots[k].restarts
+    }
+
+    /// The pairs the partitioner assigned to shard `k`.
+    pub fn owned_pairs(&self, k: usize) -> &[(NodeId, NodeId)] {
+        &self.slots[k].owned
+    }
+
+    /// Shard `k`'s live scanner, absent while it is down.
+    pub fn scanner(&self, k: usize) -> Option<&Scanner> {
+        self.slots[k].scanner.as_ref()
+    }
+
+    /// Shard `k`'s current checkpoint: the live scanner's state when
+    /// it is up, the last known-good copy otherwise.
+    pub fn shard_checkpoint(&self, k: usize) -> String {
+        match &self.slots[k].scanner {
+            Some(s) => s.to_checkpoint(),
+            None => self.slots[k].checkpoint.clone(),
+        }
+    }
+
+    /// Chaos hook: kills shard `k` right now, as a crash would — its
+    /// live scanner and driver are dropped and it restarts from its
+    /// last checkpoint (budget and backoff apply, exactly like an
+    /// organic failure).
+    pub fn inject_crash(&mut self, k: usize, now: SimTime) {
+        if matches!(self.slots[k].status, ShardStatus::Quarantined) {
+            return;
+        }
+        self.crash(k, now, "injected");
+    }
+
+    /// Chaos hook: wedges shard `k` until `until` — it stays alive but
+    /// executes no rounds, the failure mode only the heartbeat
+    /// deadline can detect.
+    pub fn inject_hang(&mut self, k: usize, until: SimTime) {
+        self.slots[k].wedged_until = Some(until);
+    }
+
+    /// Chaos hook: corrupts shard `k`'s stored checkpoint (in-memory
+    /// copy, and the on-disk primary + backup when file-backed) so the
+    /// next restart exercises the corrupt-checkpoint path.
+    pub fn corrupt_stored_checkpoint(&mut self, k: usize) {
+        fn flip(text: &str) -> String {
+            let mut bytes = text.as_bytes().to_vec();
+            if let Some(b) = bytes.iter_mut().find(|b| **b == b'm' || **b == b'#') {
+                *b ^= 0x55;
+            }
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+        let corrupted = flip(&self.slots[k].checkpoint);
+        self.slots[k].checkpoint = corrupted.clone();
+        if let Some(dir) = &self.checkpoint_dir {
+            let path = shard_path(dir, self.slots[k].id);
+            let _ = std::fs::write(&path, &corrupted);
+            let _ = std::fs::write(crate::checkpoint::bak_path(&path), &corrupted);
+        }
+    }
+
+    /// Runs one supervised round: restores shards whose restart pause
+    /// has elapsed, kills shards past their heartbeat deadline, runs a
+    /// scan round on every healthy shard in fixed shard order, and
+    /// refreshes each shard's checkpoint afterwards.
+    pub fn run_round(&mut self, net: &mut TorNetwork) -> SupervisorReport {
+        let mut report = SupervisorReport::default();
+        for k in 0..self.slots.len() {
+            let now = net.sim.now();
+            match self.slots[k].status {
+                ShardStatus::Quarantined => {
+                    report.shards_quarantined += 1;
+                    continue;
+                }
+                ShardStatus::Restarting { at } => {
+                    if now < at {
+                        report.shards_waiting += 1;
+                        continue;
+                    }
+                    self.restore(k, net);
+                }
+                ShardStatus::Running => {}
+            }
+            if !self.slots[k].started {
+                self.slots[k].started = true;
+                self.slots[k].last_progress = now;
+            }
+            let idle = now.since(self.slots[k].last_progress);
+            if idle > self.config.heartbeat_timeout {
+                // The heartbeat deadline passed with no progress: the
+                // shard is stuck (wedged process, poisoned vantage).
+                // Kill it; the restart path takes over.
+                self.obs.inc("ting.shard.stalled");
+                if self.obs.is_tracing() {
+                    self.obs.event(
+                        names::SHARD_STALL,
+                        now.as_nanos(),
+                        vec![
+                            ("shard", Value::U64(k as u64)),
+                            ("idle_ns", Value::U64(idle.as_nanos())),
+                        ],
+                    );
+                }
+                self.crash(k, now, "stall");
+                report.shards_waiting += 1;
+                continue;
+            }
+            if self.slots[k].wedged_until.is_some_and(|u| now < u) {
+                // Simulated hang: alive, no round, no progress.
+                report.shards_waiting += 1;
+                continue;
+            }
+            self.slots[k].wedged_until = None;
+            let r = self.run_shard_round(k, net);
+            report.measured += r.measured;
+            report.failed += r.failed;
+            report.still_pending += r.still_pending;
+            report.shards_run += 1;
+            if self.slots[k].scanner.is_none() {
+                // The post-round checkpoint write failed; the shard
+                // crashed and is counted as run *and* now waiting.
+                report.shards_waiting += 1;
+            }
+        }
+        report
+    }
+
+    /// One shard's scan round plus checkpointing, wrapped in a
+    /// `shard.round` span.
+    fn run_shard_round(&mut self, k: usize, net: &mut TorNetwork) -> RoundReport {
+        let span = self.obs.span_begin(
+            names::SHARD_ROUND_BEGIN,
+            net.sim.now().as_nanos(),
+            vec![("shard", Value::U64(k as u64))],
+        );
+        let slot = &mut self.slots[k];
+        let scanner = slot.scanner.as_mut().expect("running shard has a scanner");
+        let ting = slot.ting.as_ref().expect("running shard has a driver");
+        let r = scanner.run_round_parallel(net, ting);
+        let now = net.sim.now();
+        if self.obs.is_tracing() {
+            self.obs.span_end(
+                names::SHARD_ROUND_END,
+                span,
+                now.as_nanos(),
+                vec![
+                    ("shard", Value::U64(k as u64)),
+                    ("measured", Value::U64(r.measured as u64)),
+                    ("failed", Value::U64(r.failed as u64)),
+                    ("still_pending", Value::U64(r.still_pending as u64)),
+                ],
+            );
+        }
+        // Progress = the round did work, or had none eligible to do.
+        if r.measured + r.failed > 0 || r.still_pending == 0 {
+            slot.last_progress = now;
+        }
+        slot.checkpoint = scanner.to_checkpoint();
+        slot.timeouts = ting.timeouts.export();
+        if let Some(dir) = self.checkpoint_dir.clone() {
+            let scanner = self.slots[k].scanner.as_ref().unwrap();
+            if scanner.save(shard_path(&dir, self.slots[k].id)).is_err() {
+                // Treat a failing checkpoint disk like a crashed shard:
+                // scanning on without durable state would silently void
+                // the crash-safety contract.
+                self.crash(k, now, "io");
+            }
+        }
+        r
+    }
+
+    /// Kills shard `k`: live state is dropped and a restart is
+    /// scheduled under the budget, or the shard is quarantined beyond
+    /// it.
+    fn crash(&mut self, k: usize, now: SimTime, reason: &str) {
+        let slot = &mut self.slots[k];
+        slot.scanner = None;
+        slot.ting = None;
+        slot.wedged_until = None;
+        slot.restarts += 1;
+        self.obs.inc("ting.shard.crashed");
+        if self.obs.is_tracing() {
+            self.obs.event(
+                names::SHARD_CRASH,
+                now.as_nanos(),
+                vec![
+                    ("shard", Value::U64(k as u64)),
+                    ("reason", Value::Str(reason.to_owned())),
+                    ("restarts", Value::U64(self.slots[k].restarts as u64)),
+                ],
+            );
+        }
+        let slot = &mut self.slots[k];
+        if slot.restarts > self.config.restart_budget {
+            slot.status = ShardStatus::Quarantined;
+            self.obs.inc("ting.shard.quarantined");
+            if self.obs.is_tracing() {
+                self.obs.event(
+                    names::SHARD_QUARANTINE,
+                    now.as_nanos(),
+                    vec![
+                        ("shard", Value::U64(k as u64)),
+                        ("restarts", Value::U64(self.slots[k].restarts as u64)),
+                    ],
+                );
+            }
+        } else {
+            let pause = crate::backoff::exponential(
+                self.config.restart_backoff,
+                slot.restarts,
+                self.config.restart_backoff_cap,
+            );
+            slot.status = ShardStatus::Restarting { at: now + pause };
+        }
+    }
+
+    /// Brings a crashed shard back: checkpoint (disk, then the
+    /// in-memory copy), restored timeout estimators, re-derived scope
+    /// and locations. A refused checkpoint falls back to a fresh
+    /// scanner — losing the shard's cache but never wedging the scan.
+    fn restore(&mut self, k: usize, net: &TorNetwork) {
+        let now = net.sim.now();
+        let from_disk = self.checkpoint_dir.as_ref().and_then(|dir| {
+            Scanner::recover_observed(shard_path(dir, self.slots[k].id), &self.obs, now).ok()
+        });
+        let restored = match from_disk {
+            Some(s) => Ok(s),
+            None => Scanner::from_checkpoint(&self.slots[k].checkpoint),
+        };
+        let mut scanner = match restored {
+            Ok(s) => s,
+            Err(e) => {
+                // Both generations refused: start the shard over. Its
+                // owned pairs will re-measure; everyone else's state
+                // is untouched.
+                self.obs.inc("ting.shard.checkpoint_corrupt");
+                if self.obs.is_tracing() {
+                    self.obs.event(
+                        names::SHARD_CHECKPOINT_CORRUPT,
+                        now.as_nanos(),
+                        vec![("shard", Value::U64(k as u64)), ("error", Value::Str(e))],
+                    );
+                }
+                Scanner::new(self.nodes.clone(), self.config.scanner)
+            }
+        };
+        scanner.restrict_to(&self.slots[k].owned);
+        scanner.load_locations(net);
+        let ting = Ting::with_obs(self.ting_config, self.obs.clone());
+        let _ = ting.timeouts.import(&self.slots[k].timeouts);
+        let slot = &mut self.slots[k];
+        slot.checkpoint = scanner.to_checkpoint();
+        slot.scanner = Some(scanner);
+        slot.ting = Some(ting);
+        slot.status = ShardStatus::Running;
+        slot.last_progress = now;
+        self.obs.inc("ting.shard.restarted");
+        if self.obs.is_tracing() {
+            self.obs.event(
+                names::SHARD_RESTART,
+                now.as_nanos(),
+                vec![
+                    ("shard", Value::U64(k as u64)),
+                    ("attempt", Value::U64(self.slots[k].restarts as u64)),
+                ],
+            );
+        }
+    }
+
+    /// Merges every shard's current state (live scanners and
+    /// last-known-good checkpoints of downed shards alike) into one
+    /// matrix with per-shard coverage rows.
+    pub fn merge(&self, now: SimTime) -> Result<MergeOutcome, String> {
+        let entries: Vec<(u32, &'static str, String)> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                (
+                    slot.id,
+                    slot.status.tag(),
+                    match &slot.scanner {
+                        Some(s) => s.to_checkpoint(),
+                        None => slot.checkpoint.clone(),
+                    },
+                )
+            })
+            .collect();
+        merge_checkpoints(&entries, now)
+    }
+}
+
+/// Shard `id`'s checkpoint file under `dir`.
+pub fn shard_path(dir: &Path, id: u32) -> PathBuf {
+    dir.join(format!("shard-{id}.ckpt"))
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn partition_round_robins_pairs_in_index_order() {
+        let owned = partition_pairs(&nodes(4), 2); // 6 pairs
+        assert_eq!(
+            owned[0],
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(3)),
+                (NodeId(1), NodeId(3)),
+            ]
+        );
+        assert_eq!(
+            owned[1],
+            vec![
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn more_shards_than_pairs_leaves_surplus_empty() {
+        let owned = partition_pairs(&nodes(2), 5);
+        assert_eq!(owned[0], vec![(NodeId(0), NodeId(1))]);
+        assert!(owned[1..].iter().all(|o| o.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_panics() {
+        partition_pairs(&nodes(3), 0);
+    }
+
+    #[test]
+    fn merge_rejects_bad_shard_ids() {
+        let s = Scanner::new(nodes(3), ScannerConfig::default());
+        let ckpt = s.to_checkpoint();
+        let err = merge_checkpoints(
+            &[(0, "live", ckpt.clone()), (2, "live", ckpt)],
+            SimTime::ZERO,
+        )
+        .unwrap_err();
+        assert!(err.contains("shard ids"), "{err}");
+    }
+
+    #[test]
+    fn merge_of_empty_checkpoints_covers_nothing() {
+        let s = Scanner::new(nodes(3), ScannerConfig::default());
+        let ckpt = s.to_checkpoint();
+        let m = merge_checkpoints(
+            &[(0, "live", ckpt.clone()), (1, "dead", ckpt)],
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(m.coverage(), 0.0);
+        assert_eq!(m.shards.len(), 2);
+        assert_eq!(m.shards[0].status, "live");
+        assert_eq!(m.shards[1].status, "dead");
+        assert_eq!(m.shards[0].owned + m.shards[1].owned, 3);
+        assert_eq!(m.shards[1].oldest_ns, None);
+    }
+}

@@ -148,6 +148,95 @@ fn save_promotes_backup_and_recover_falls_back() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn interrupted_save_leaves_a_loadable_checkpoint() {
+    use ting::checkpoint::tmp_path;
+
+    let dir = std::env::temp_dir().join(format!("ting-ckpt-interrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scan.ckpt");
+
+    let gen1 = Scanner::from_checkpoint(&handwritten_v2()).unwrap();
+    gen1.save(&path).unwrap();
+    // A save killed right after the rename leaves exactly this state:
+    // the (fsynced) document under the final name, nothing else. It
+    // must be complete and loadable, byte for byte.
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        gen1.to_checkpoint()
+    );
+    assert_eq!(
+        Scanner::load(&path).unwrap().to_checkpoint(),
+        gen1.to_checkpoint()
+    );
+    assert!(!tmp_path(&path).exists(), "no temp file survives a save");
+
+    // A save killed *before* the rename instead leaves a torn `.tmp`
+    // sibling. The primary is untouched by it, and the next save
+    // replaces the garbage temp wholesale.
+    std::fs::write(tmp_path(&path), "# torn half-written garb").unwrap();
+    assert_eq!(
+        Scanner::recover(&path).unwrap().to_checkpoint(),
+        gen1.to_checkpoint()
+    );
+    let mut gen2 = Scanner::from_checkpoint(&gen1.to_checkpoint()).unwrap();
+    gen2.set_node_location(netsim::NodeId(1), geo::GeoPoint::new(10.0, 20.0));
+    gen2.save(&path).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        gen2.to_checkpoint()
+    );
+    assert!(!tmp_path(&path).exists());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bak_fallback_increments_counter_and_emits_event() {
+    use netsim::{SimDuration, SimTime};
+    use ting::obs::{names, Obs, ObsConfig};
+
+    let dir = std::env::temp_dir().join(format!("ting-ckpt-observed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scan.ckpt");
+
+    let gen1 = Scanner::from_checkpoint(&handwritten_v2()).unwrap();
+    gen1.save(&path).unwrap();
+    let gen1_text = std::fs::read_to_string(&path).unwrap();
+    Scanner::from_checkpoint(&gen1_text)
+        .unwrap()
+        .save(&path)
+        .unwrap();
+
+    let now = SimTime::ZERO + SimDuration::from_secs(5);
+
+    // A healthy primary recovers silently: no counter, no event.
+    let obs = Obs::new(ObsConfig::Trace);
+    Scanner::recover_observed(&path, &obs, now).unwrap();
+    assert_eq!(obs.counter_value("ting.checkpoint.recovered_bak"), 0);
+    assert!(obs.events().is_empty());
+
+    // Corrupt the primary: the `.bak` fallback is counted and traced.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let recovered = Scanner::recover_observed(&path, &obs, now).unwrap();
+    assert_eq!(recovered.to_checkpoint(), gen1_text);
+    assert_eq!(obs.counter_value("ting.checkpoint.recovered_bak"), 1);
+    let events = obs.events();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].name, names::SCAN_RECOVER_BAK);
+    assert_eq!(events[0].t_ns, now.as_nanos());
+    assert!(
+        events[0].fields.iter().any(|(k, _)| *k == "primary_error"),
+        "event must carry the primary's error: {:?}",
+        events[0].fields
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 

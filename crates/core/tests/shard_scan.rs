@@ -1,0 +1,335 @@
+//! Tests for the shard supervision layer (`ting::shard`): the
+//! partitioner's exact-cover property, bit-identity of a one-shard
+//! supervised scan with the plain `Scanner`, completion-order
+//! invariance of the merge, kill/resume losslessness, heartbeat stall
+//! detection, corrupt-checkpoint recovery, and degraded-mode scanning
+//! with a shard dead past its restart budget.
+
+use netsim::{NodeId, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use ting::obs::{Obs, ObsConfig};
+use ting::shard::{merge_checkpoints, partition_pairs, ShardStatus, Supervisor, SupervisorConfig};
+use ting::{Scanner, ScannerConfig, Ting, TingConfig};
+use tor_sim::TorNetworkBuilder;
+
+fn t(secs: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(secs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The partitioner covers every relay pair exactly once — no gaps,
+    /// no duplicates, no pair in two shards — for arbitrary relay and
+    /// shard counts, including more shards than pairs.
+    #[test]
+    fn partition_covers_every_pair_exactly_once(n in 0u32..40, shards in 1usize..60) {
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let owned = partition_pairs(&nodes, shards);
+        prop_assert_eq!(owned.len(), shards);
+        let mut seen = HashSet::new();
+        for pairs in &owned {
+            for &(a, b) in pairs {
+                prop_assert!(a < b, "pairs are emitted in index order");
+                prop_assert!(seen.insert((a, b)), "pair {:?} assigned twice", (a, b));
+            }
+        }
+        let expected = (n as usize) * (n as usize).saturating_sub(1) / 2;
+        prop_assert_eq!(seen.len(), expected, "every pair must be owned");
+        // Round-robin balance: shard sizes differ by at most one.
+        let sizes: Vec<usize> = owned.iter().map(Vec::len).collect();
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1, "unbalanced shards: {:?}", sizes);
+    }
+}
+
+/// The scanner config every test here shares.
+fn scanner_config() -> ScannerConfig {
+    ScannerConfig {
+        pairs_per_round: 7,
+        ..ScannerConfig::default()
+    }
+}
+
+fn supervisor_config(shards: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        shards,
+        scanner: scanner_config(),
+        heartbeat_timeout: SimDuration::from_hours(4),
+        restart_budget: 3,
+        restart_backoff: SimDuration::from_nanos(0),
+        restart_backoff_cap: SimDuration::from_nanos(0),
+    }
+}
+
+/// A one-shard supervised scan must be bit-identical to the plain
+/// `Scanner` over the same network: same checkpoint bytes, same merged
+/// matrix. Sharding at S = 1 is a pure refactor, not a behavior change.
+#[test]
+fn one_shard_supervised_scan_is_bit_identical_to_plain_scanner() {
+    // Plain run.
+    let mut net = TorNetworkBuilder::testbed(97).vantages(2).build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+    let mut scanner = Scanner::new(nodes.clone(), scanner_config());
+    let ting = Ting::new(TingConfig::fast());
+    for _ in 0..3 {
+        scanner.run_round_parallel(&mut net, &ting);
+    }
+    let plain_ckpt = scanner.to_checkpoint();
+    let plain_end = net.sim.now();
+
+    // Supervised run over an identically seeded network.
+    let mut net2 = TorNetworkBuilder::testbed(97).vantages(2).build();
+    let mut sup = Supervisor::new(nodes, supervisor_config(1), TingConfig::fast());
+    sup.load_locations(&net2);
+    for _ in 0..3 {
+        sup.run_round(&mut net2);
+    }
+    assert_eq!(net2.sim.now(), plain_end, "virtual clocks must agree");
+    assert_eq!(
+        sup.shard_checkpoint(0),
+        plain_ckpt,
+        "one-shard checkpoint must match the plain scanner byte for byte"
+    );
+    let merged = sup.merge(net2.sim.now()).unwrap();
+    assert_eq!(merged.matrix.to_tsv(), scanner.matrix().to_tsv());
+    assert_eq!(merged.coverage(), 1.0);
+    assert_eq!(merged.shards.len(), 1);
+    assert_eq!(merged.shards[0].status, "live");
+    assert_eq!(merged.shards[0].uncovered, 0);
+}
+
+/// Runs an S-shard supervised scan to completion and returns the
+/// supervisor plus its network.
+fn run_sharded(shards: usize, rounds: usize) -> (Supervisor, tor_sim::TorNetwork) {
+    let mut net = TorNetworkBuilder::testbed(41).vantages(2).build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+    let mut sup = Supervisor::new(nodes, supervisor_config(shards), TingConfig::fast());
+    sup.load_locations(&net);
+    for _ in 0..rounds {
+        sup.run_round(&mut net);
+    }
+    (sup, net)
+}
+
+/// The merge is a fixed shard-ordering reduction: feeding it shard
+/// checkpoints in any completion order produces the same document.
+#[test]
+fn merge_is_invariant_to_shard_completion_order() {
+    let (sup, net) = run_sharded(3, 3);
+    let now = net.sim.now();
+    let entries: Vec<(u32, &'static str, String)> = (0..3)
+        .map(|k| (k as u32, sup.status(k).tag(), sup.shard_checkpoint(k)))
+        .collect();
+    let sorted_doc = merge_checkpoints(&entries, now).unwrap().to_document();
+    let mut rotated = entries.clone();
+    rotated.rotate_left(1);
+    let mut reversed = entries;
+    reversed.reverse();
+    assert_eq!(
+        merge_checkpoints(&rotated, now).unwrap().to_document(),
+        sorted_doc
+    );
+    assert_eq!(
+        merge_checkpoints(&reversed, now).unwrap().to_document(),
+        sorted_doc
+    );
+    // And the scan actually finished: every shard fully covered.
+    let merged = merge_checkpoints(&rotated, now).unwrap();
+    assert_eq!(merged.coverage(), 1.0);
+    assert!(merged.shards.iter().all(|c| c.uncovered == 0));
+}
+
+/// Killing a shard mid-scan and letting the supervisor restart it from
+/// its checkpoint must not change one bit of the final merged output
+/// relative to an uninterrupted run.
+#[test]
+fn kill_and_resume_is_bit_identical_to_uninterrupted_run() {
+    let rounds = 4;
+    let baseline = {
+        let (sup, net) = run_sharded(4, rounds);
+        sup.merge(net.sim.now()).unwrap().to_document()
+    };
+
+    let mut net = TorNetworkBuilder::testbed(41).vantages(2).build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+    let mut sup = Supervisor::new(nodes, supervisor_config(4), TingConfig::fast());
+    sup.load_locations(&net);
+    for round in 0..rounds {
+        if round == 1 {
+            // Crash shard 2 between rounds: its live state is gone; it
+            // restarts from the checkpoint taken after round 0.
+            sup.inject_crash(2, net.sim.now());
+            assert!(matches!(sup.status(2), ShardStatus::Restarting { .. }));
+        }
+        sup.run_round(&mut net);
+    }
+    assert_eq!(sup.status(2), ShardStatus::Running);
+    assert_eq!(sup.restarts(2), 1);
+    let resumed = sup.merge(net.sim.now()).unwrap().to_document();
+    assert_eq!(
+        resumed, baseline,
+        "restart from checkpoint must be lossless"
+    );
+}
+
+/// A shard killed past its restart budget is quarantined; the scan
+/// continues degraded: the surviving shards complete their pairs, the
+/// merged matrix reports the dead shard's pairs as uncovered with
+/// staleness metadata, and the whole scenario is deterministic.
+#[test]
+fn dead_shard_degrades_scan_without_blocking_it() {
+    let run = || {
+        let mut net = TorNetworkBuilder::testbed(41).vantages(2).build();
+        let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+        let mut config = supervisor_config(4);
+        config.restart_budget = 0; // first crash quarantines
+        let obs = Obs::new(ObsConfig::Metrics);
+        let mut sup = Supervisor::with_obs(nodes, config, TingConfig::fast(), obs.clone());
+        sup.load_locations(&net);
+        // Kill shard 1 before it ever measures: every owned pair stays
+        // uncovered.
+        sup.inject_crash(1, net.sim.now());
+        assert_eq!(sup.status(1), ShardStatus::Quarantined);
+        for _ in 0..4 {
+            let report = sup.run_round(&mut net);
+            assert_eq!(report.shards_quarantined, 1);
+        }
+        assert_eq!(obs.counter_value("ting.shard.crashed"), 1);
+        assert_eq!(obs.counter_value("ting.shard.quarantined"), 1);
+        assert_eq!(obs.counter_value("ting.shard.restarted"), 0);
+        let merged = sup.merge(net.sim.now()).unwrap();
+        (merged.to_document(), merged)
+    };
+
+    let (doc_a, merged) = run();
+    let (doc_b, _) = run();
+    assert_eq!(doc_a, doc_b, "degraded runs must be deterministic");
+
+    let dead = &merged.shards[1];
+    assert_eq!(dead.status, "dead");
+    assert!(dead.owned > 0);
+    assert_eq!(dead.covered, 0);
+    assert_eq!(dead.uncovered, dead.owned);
+    assert_eq!(
+        dead.oldest_ns, None,
+        "no staleness data for unmeasured pairs"
+    );
+    for k in [0usize, 2, 3] {
+        let live = &merged.shards[k];
+        assert_eq!(live.status, "live");
+        assert_eq!(
+            live.uncovered, 0,
+            "surviving shard {k} must complete its pairs"
+        );
+        assert!(live.oldest_ns.is_some() && live.newest_ns.is_some());
+        assert!(live.oldest_ns <= live.newest_ns);
+        assert_eq!(live.stale, 0, "just-measured pairs are not stale");
+    }
+    assert!(merged.coverage() < 1.0);
+    // The dead shard's pairs are absent from the matrix itself.
+    for &(a, b) in &partition_pairs(merged.matrix.nodes(), 4)[1] {
+        assert_eq!(merged.matrix.get(a, b), None);
+    }
+}
+
+/// A wedged shard — alive but making no progress — trips the heartbeat
+/// deadline, is killed and restarted, and then finishes its work.
+#[test]
+fn heartbeat_detects_wedged_shard_and_restarts_it() {
+    let mut net = TorNetworkBuilder::testbed(41).vantages(2).build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+    let mut config = supervisor_config(3);
+    config.heartbeat_timeout = SimDuration::from_hours(1);
+    let obs = Obs::new(ObsConfig::Metrics);
+    let mut sup = Supervisor::with_obs(nodes, config, TingConfig::fast(), obs.clone());
+    sup.load_locations(&net);
+    // Wedge shard 1 indefinitely; only the heartbeat can free it.
+    sup.inject_hang(1, t(1_000_000));
+    let round_secs = 600;
+    for round in 0..12u64 {
+        net.sim.advance_to(t(round * round_secs).max(net.sim.now()));
+        sup.run_round(&mut net);
+    }
+    assert!(
+        obs.counter_value("ting.shard.stalled") >= 1,
+        "the wedge must be detected as a stall"
+    );
+    assert!(obs.counter_value("ting.shard.restarted") >= 1);
+    assert_eq!(sup.status(1), ShardStatus::Running);
+    let merged = sup.merge(net.sim.now()).unwrap();
+    assert_eq!(
+        merged.coverage(),
+        1.0,
+        "the restarted shard must finish its pairs"
+    );
+}
+
+/// A shard whose stored checkpoint is corrupt restarts fresh — its
+/// cache is lost and re-measured — instead of wedging the scan.
+#[test]
+fn corrupt_checkpoint_restarts_shard_fresh() {
+    let mut net = TorNetworkBuilder::testbed(41).vantages(2).build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+    let obs = Obs::new(ObsConfig::Metrics);
+    let mut sup =
+        Supervisor::with_obs(nodes, supervisor_config(2), TingConfig::fast(), obs.clone());
+    sup.load_locations(&net);
+    sup.run_round(&mut net); // measures everything (7-pair budget, ~8 owned)
+    sup.corrupt_stored_checkpoint(0);
+    sup.inject_crash(0, net.sim.now());
+    for _ in 0..3 {
+        sup.run_round(&mut net);
+    }
+    assert_eq!(obs.counter_value("ting.shard.checkpoint_corrupt"), 1);
+    assert_eq!(sup.status(0), ShardStatus::Running);
+    let merged = sup.merge(net.sim.now()).unwrap();
+    assert_eq!(
+        merged.coverage(),
+        1.0,
+        "the fresh shard must re-measure its pairs"
+    );
+}
+
+/// File-backed shard checkpoints: every shard persists its own sealed
+/// file, restarts recover through it, and a corrupt primary falls back
+/// to `.bak` (visible through the recovery counter).
+#[test]
+fn file_backed_shards_recover_from_bak_generation() {
+    let dir = std::env::temp_dir().join(format!("ting-shard-files-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut net = TorNetworkBuilder::testbed(41).vantages(2).build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+    let obs = Obs::new(ObsConfig::Metrics);
+    let mut sup =
+        Supervisor::with_obs(nodes, supervisor_config(2), TingConfig::fast(), obs.clone());
+    sup.set_checkpoint_dir(&dir);
+    sup.load_locations(&net);
+    sup.run_round(&mut net);
+    sup.run_round(&mut net); // second save promotes a `.bak` generation
+    for k in 0..2u32 {
+        let path = ting::shard::shard_path(&dir, k);
+        assert!(path.exists(), "shard {k} must persist a checkpoint");
+        Scanner::load(&path).expect("persisted shard checkpoint must verify");
+    }
+
+    // Corrupt shard 0's primary on disk; a crash-restart must recover
+    // through the `.bak` generation and say so.
+    let path = ting::shard::shard_path(&dir, 0);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    sup.inject_crash(0, net.sim.now());
+    sup.run_round(&mut net);
+    assert_eq!(sup.status(0), ShardStatus::Running);
+    assert_eq!(obs.counter_value("ting.checkpoint.recovered_bak"), 1);
+    assert_eq!(obs.counter_value("ting.shard.checkpoint_corrupt"), 0);
+    let merged = sup.merge(net.sim.now()).unwrap();
+    assert_eq!(merged.coverage(), 1.0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -65,6 +65,18 @@ pub const TOR_RELAY_REVIVE: &str = "tor.relay.revive";
 pub const TOR_CHURN_DEPARTED: &str = "tor.churn.departed";
 pub const TOR_CONSENSUS_REFRESH: &str = "tor.consensus.refresh";
 
+// ── Shard-supervision spans and events ──
+pub const SHARD_ROUND_BEGIN: &str = "shard.round.begin";
+pub const SHARD_ROUND_END: &str = "shard.round.end";
+pub const SHARD_CRASH: &str = "shard.crash";
+pub const SHARD_RESTART: &str = "shard.restart";
+pub const SHARD_STALL: &str = "shard.stall";
+pub const SHARD_QUARANTINE: &str = "shard.quarantine";
+pub const SHARD_CHECKPOINT_CORRUPT: &str = "shard.checkpoint.corrupt";
+
+// ── Checkpoint-recovery events ──
+pub const SCAN_RECOVER_BAK: &str = "scan.recover.bak";
+
 /// Shorthand for registry rows.
 const fn point(name: &'static str) -> EventSpec {
     EventSpec {
@@ -116,6 +128,14 @@ pub const REGISTRY: &[EventSpec] = &[
     point(TOR_RELAY_REVIVE),
     point(TOR_CHURN_DEPARTED),
     point(TOR_CONSENSUS_REFRESH),
+    begin(SHARD_ROUND_BEGIN, SHARD_ROUND_END),
+    end(SHARD_ROUND_END, SHARD_ROUND_BEGIN),
+    point(SHARD_CRASH),
+    point(SHARD_RESTART),
+    point(SHARD_STALL),
+    point(SHARD_QUARANTINE),
+    point(SHARD_CHECKPOINT_CORRUPT),
+    point(SCAN_RECOVER_BAK),
 ];
 
 /// Looks a name up in the registry.
