@@ -44,35 +44,32 @@ pub struct TivReport {
 }
 
 impl TivReport {
-    /// Scans every measured pair for its best detour.
+    /// Scans every measured pair for its best detour, via the shared
+    /// index-space kernel ([`ting::RttView::best_detour`]) that also
+    /// powers the latency oracle's ShorTor-style via-relay queries —
+    /// one implementation, two consumers, bit-identical answers.
     ///
     /// # Panics
     /// Panics if the matrix is incomplete.
     pub fn analyze(matrix: &RttMatrix) -> TivReport {
         assert!(matrix.is_complete(), "TIV analysis needs all pairs");
+        let view = matrix.view();
         let nodes = matrix.nodes();
         let mut findings = Vec::new();
         for (i, &s) in nodes.iter().enumerate() {
-            for &d in &nodes[i + 1..] {
-                let direct = matrix.get(s, d).expect("complete");
-                let mut best_detour = f64::INFINITY;
-                let mut best_relay = s;
-                for &r in nodes {
-                    if r == s || r == d {
-                        continue;
-                    }
-                    let detour =
-                        matrix.get(s, r).expect("complete") + matrix.get(r, d).expect("complete");
-                    if detour < best_detour {
-                        best_detour = detour;
-                        best_relay = r;
-                    }
-                }
+            for (j, &d) in nodes.iter().enumerate().skip(i + 1) {
+                let direct = view.get_idx(i as u32, j as u32).expect("complete");
+                // A pair with no third relay (n = 2) keeps the
+                // historical "no detour" encoding: +∞ through itself.
+                let (best_relay, best_detour_ms) = match view.best_detour(i as u32, j as u32) {
+                    Some(best) => (view.node(best.via), best.rtt_ms),
+                    None => (s, f64::INFINITY),
+                };
                 findings.push(TivFinding {
                     src: s,
                     dst: d,
                     direct_ms: direct,
-                    best_detour_ms: best_detour,
+                    best_detour_ms,
                     best_relay,
                 });
             }

@@ -1,0 +1,215 @@
+//! Load benchmark for the latency oracle's serving path.
+//!
+//! Builds a seeded complete matrix, publishes it through an
+//! [`oracle::Oracle`] with observability at `Metrics`, and drives the
+//! three query families at volume: random point lookups (the hot path,
+//! rate-gated), k-nearest-relay queries, and ShorTor-style via-relay
+//! detour searches. Results go to `BENCH_oracle.json` (override with
+//! `TING_BENCH_OUT`) in the same shape `ting-prof diff` gates for the
+//! scan baseline — the phase histograms record *answered RTTs* (ms
+//! recorded on the µs scale), which are a pure function of the seed and
+//! config, so the gate catches silent changes to what the oracle serves
+//! while wall-clock throughput stays informational.
+//!
+//! Environment overrides: `TING_SEED` (default 2015), `TING_RELAYS`
+//! (default 300), `TING_ORACLE_POINTS` (default 2_000_000),
+//! `TING_ORACLE_NEAREST` (default 10_000), `TING_ORACLE_K` (default
+//! 16), `TING_ORACLE_DETOURS` (default 20_000), `TING_REPS` (default
+//! 3; wall time is the minimum over reps), and `TING_ORACLE_MIN_RATE`
+//! (default 1_000_000 point lookups/s on one core; the run exits
+//! non-zero below the floor, 0 disables).
+
+use bench::{env_u64, env_usize, hist_quantiles_json, seed};
+use netsim::NodeId;
+use oracle::{Oracle, Snapshot};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::fmt::Write as _;
+use ting::obs::{config_hash, names, Obs, ObsConfig};
+use ting::RttMatrix;
+
+struct Config {
+    seed: u64,
+    relays: usize,
+    points: usize,
+    nearest: usize,
+    k: usize,
+    detours: usize,
+}
+
+struct RunResult {
+    point_wall_s: f64,
+    nearest_wall_s: f64,
+    detour_wall_s: f64,
+    obs: Obs,
+    checksum: f64,
+}
+
+/// A seeded complete matrix standing in for a §4.6 cached dataset.
+fn seeded_matrix(seed: u64, relays: usize) -> RttMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nodes: Vec<NodeId> = (0..relays as u32).map(NodeId).collect();
+    let mut m = RttMatrix::new(nodes.clone());
+    for i in 0..relays {
+        for j in (i + 1)..relays {
+            m.set(nodes[i], nodes[j], rng.gen_range(1.0..300.0));
+        }
+    }
+    m
+}
+
+/// Pre-generates `count` distinct-node query pairs so pair selection
+/// stays off the timed path.
+fn query_pairs(rng: &mut SmallRng, n: u32, count: usize) -> Vec<(NodeId, NodeId)> {
+    (0..count)
+        .map(|_| {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            if a == b {
+                b = (b + 1) % n;
+            }
+            (NodeId(a), NodeId(b))
+        })
+        .collect()
+}
+
+fn run_once(
+    matrix: &RttMatrix,
+    cfg: &Config,
+    points: &[(NodeId, NodeId)],
+    sources: &[NodeId],
+    detours: &[(NodeId, NodeId)],
+) -> RunResult {
+    let obs = Obs::new(ObsConfig::Metrics);
+    let oracle = Oracle::with_obs(Snapshot::from_matrix(matrix), obs.clone());
+
+    // Accumulate served values so the query loops have a data
+    // dependency the optimizer can't discard.
+    let mut checksum = 0.0;
+
+    let started = std::time::Instant::now();
+    for &(a, b) in points {
+        checksum += oracle.rtt(a, b).expect("known node").rtt_ms.unwrap_or(0.0);
+    }
+    let point_wall_s = started.elapsed().as_secs_f64();
+
+    let started = std::time::Instant::now();
+    for &x in sources {
+        for n in oracle.k_nearest(x, cfg.k).expect("known node") {
+            checksum += n.rtt_ms;
+        }
+    }
+    let nearest_wall_s = started.elapsed().as_secs_f64();
+
+    let started = std::time::Instant::now();
+    for &(a, b) in detours {
+        let d = oracle.best_via(a, b).expect("known node");
+        checksum += d.via.map_or(0.0, |v| v.rtt_ms);
+    }
+    let detour_wall_s = started.elapsed().as_secs_f64();
+
+    RunResult {
+        point_wall_s,
+        nearest_wall_s,
+        detour_wall_s,
+        obs,
+        checksum,
+    }
+}
+
+fn main() {
+    let cfg = Config {
+        seed: env_u64("TING_SEED", seed()),
+        relays: env_usize("TING_RELAYS", 300),
+        points: env_usize("TING_ORACLE_POINTS", 2_000_000),
+        nearest: env_usize("TING_ORACLE_NEAREST", 10_000),
+        k: env_usize("TING_ORACLE_K", 16),
+        detours: env_usize("TING_ORACLE_DETOURS", 20_000),
+    };
+    let reps = env_usize("TING_REPS", 3).max(1);
+    let min_rate = env_u64("TING_ORACLE_MIN_RATE", 1_000_000);
+    let out_path =
+        std::env::var("TING_BENCH_OUT").unwrap_or_else(|_| "BENCH_oracle.json".to_owned());
+
+    let matrix = seeded_matrix(cfg.seed, cfg.relays);
+    // The workload stream is seeded independently of the matrix fill so
+    // changing the query volume never changes the dataset itself.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x6f72_6163_6c65); // "oracle"
+    let n = cfg.relays as u32;
+    let points = query_pairs(&mut rng, n, cfg.points);
+    let sources: Vec<NodeId> = (0..cfg.nearest)
+        .map(|_| NodeId(rng.gen_range(0..n)))
+        .collect();
+    let detours = query_pairs(&mut rng, n, cfg.detours);
+
+    let mut best: Option<RunResult> = None;
+    for rep in 0..reps {
+        let r = run_once(&matrix, &cfg, &points, &sources, &detours);
+        println!(
+            "# rep {rep}: point_wall_s={:.3} nearest_wall_s={:.3} detour_wall_s={:.3} checksum={:.3}",
+            r.point_wall_s, r.nearest_wall_s, r.detour_wall_s, r.checksum
+        );
+        if best
+            .as_ref()
+            .is_none_or(|b| r.point_wall_s < b.point_wall_s)
+        {
+            best = Some(r);
+        }
+    }
+    let best = best.expect("at least one rep");
+    let wall_s = best.point_wall_s + best.nearest_wall_s + best.detour_wall_s;
+    let rate = cfg.points as f64 / best.point_wall_s.max(f64::MIN_POSITIVE);
+
+    let queries = cfg.points + cfg.nearest + cfg.detours;
+    let failed = (best.obs.counter_value(names::ORACLE_QUERY_UNKNOWN_NODE)
+        + best.obs.counter_value(names::ORACLE_QUERY_UNMEASURED)) as usize;
+    let measured = queries - failed.min(queries);
+
+    let config = format!(
+        "oracle relays={} points={} nearest={} k={} detours={}",
+        cfg.relays, cfg.points, cfg.nearest, cfg.k, cfg.detours
+    );
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"schema\":\"ting-bench-oracle-v1\",\"seed\":{},\"config_hash\":\"{:016x}\",\
+         \"relays\":{},\"samples\":{},\"reps\":{reps},\
+         \"pairs\":{queries},\"measured\":{measured},\"failed\":{failed},\
+         \"wall_s\":{wall_s:.6},\"virtual_s\":0.000,\"pairs_per_wall_s\":{rate:.3}",
+        cfg.seed,
+        config_hash(&config),
+        cfg.relays,
+        cfg.k,
+    );
+    json.push_str(",\"phases\":{");
+    for (i, (key, hist)) in [
+        ("point", names::ORACLE_ANSWER_POINT_US),
+        ("nearest", names::ORACLE_ANSWER_NEAREST_US),
+        ("detour", names::ORACLE_ANSWER_DETOUR_US),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            json.push(',');
+        }
+        let h = best.obs.histogram(hist).unwrap_or_default();
+        let _ = write!(json, "\"{key}\":{}", hist_quantiles_json(&h));
+    }
+    json.push_str("}}");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write oracle bench json");
+
+    println!(
+        "# oracle_load: relays={} points={} seed={}",
+        cfg.relays, cfg.points, cfg.seed
+    );
+    println!(
+        "point_lookups_per_s={rate:.1} nearest_wall_s={:.3} detour_wall_s={:.3}",
+        best.nearest_wall_s, best.detour_wall_s
+    );
+    println!("wrote {out_path}");
+
+    if min_rate > 0 && rate < min_rate as f64 {
+        eprintln!("FAIL: point lookup rate {rate:.1}/s is below the {min_rate}/s floor");
+        std::process::exit(1);
+    }
+}

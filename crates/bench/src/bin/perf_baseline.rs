@@ -15,10 +15,10 @@
 //! e.g. the 300-relay baseline — stay affordable in CI; when set it
 //! joins the config hash, so capped and uncapped runs never compare).
 
-use bench::{env_u64, env_usize, seed};
+use bench::{env_u64, env_usize, hist_quantiles_json, seed};
 use netsim::{NodeId, SimTime};
 use std::fmt::Write as _;
-use ting::obs::{config_hash, LogHistogram, Obs, ObsConfig};
+use ting::obs::{config_hash, Obs, ObsConfig};
 use ting::{Scanner, ScannerConfig, Ting, TingConfig};
 use tor_sim::TorNetworkBuilder;
 
@@ -56,20 +56,6 @@ fn run_once(seed: u64, relays: usize, samples: usize, cap: Option<usize>) -> Run
         failed: report.failed,
         obs,
     }
-}
-
-/// Renders one phase histogram as a JSON object of quantiles (µs).
-fn phase_json(h: &LogHistogram) -> String {
-    let q = |p: f64| h.quantile(p).unwrap_or(0);
-    format!(
-        "{{\"count\":{},\"min_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
-        h.count(),
-        h.min().unwrap_or(0),
-        q(0.5),
-        q(0.9),
-        q(0.99),
-        h.max().unwrap_or(0)
-    )
 }
 
 fn main() {
@@ -133,7 +119,7 @@ fn main() {
             json.push(',');
         }
         let h = best.obs.histogram(hist).unwrap_or_default();
-        let _ = write!(json, "\"{key}\":{}", phase_json(&h));
+        let _ = write!(json, "\"{key}\":{}", hist_quantiles_json(&h));
     }
     json.push_str("}}");
     std::fs::write(&out_path, format!("{json}\n")).expect("write baseline json");

@@ -54,6 +54,22 @@ pub fn threads() -> usize {
     )
 }
 
+/// Renders one `obs` histogram as the quantile JSON object shared by
+/// every `BENCH_*.json` phase entry. `ting-prof diff` gates exactly
+/// these fields, so the shape must stay in lockstep across baselines.
+pub fn hist_quantiles_json(h: &ting::obs::LogHistogram) -> String {
+    let q = |p: f64| h.quantile(p).unwrap_or(0);
+    format!(
+        "{{\"count\":{},\"min_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+        h.count(),
+        h.min().unwrap_or(0),
+        q(0.5),
+        q(0.9),
+        q(0.99),
+        h.max().unwrap_or(0)
+    )
+}
+
 /// The figdata cache directory (created on demand).
 pub fn figdata_dir() -> std::path::PathBuf {
     let dir = std::path::PathBuf::from("target/figdata");

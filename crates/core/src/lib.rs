@@ -31,8 +31,10 @@
 //! * [`strawman`] — the §3.2 baseline that mixes Tor and ping traffic
 //!   (kept so experiments can show *why* it fails);
 //! * [`forwarding`] — the §4.3 forwarding-delay measurement procedure;
-//! * [`matrix`] — all-pairs RTT matrices with caching and TSV
-//!   import/export, the substrate of every §5 application;
+//! * [`matrix`] — all-pairs RTT matrices with caching and strict TSV
+//!   import/export, the substrate of every §5 application, plus the
+//!   dense index-addressed [`matrix::RttView`] (and its shared detour
+//!   kernel) that the `oracle` query service reads;
 //! * [`queue`] — the scanner's incrementally maintained work queue
 //!   (replaces the per-round O(n²) priority sweeps);
 //! * [`parallel`] — the §6 scaling step: K vantage pairs measuring
@@ -79,7 +81,7 @@ pub use estimator::{ting_estimate_ms, CircuitSamples, TingMeasurement};
 pub use forwarding::{measure_forwarding_delay, ForwardingDelayMeasurement, ProbeProtocol};
 pub use health::{HealthConfig, HealthEvent, RelayHealth};
 pub use king::{king_measure, KingConfig, KingOutcome};
-pub use matrix::RttMatrix;
+pub use matrix::{DetourBest, RttMatrix, RttView, TSV_MAGIC};
 pub use orchestrator::{Ting, TingConfig, TingError};
 pub use parallel::{measure_interleaved, PairOutcome};
 pub use queue::WorkQueue;
@@ -87,8 +89,8 @@ pub use report::{CampaignReport, QualityFlag};
 pub use sampling::SamplePolicy;
 pub use scanner::{Scanner, ScannerConfig};
 pub use shard::{
-    merge_checkpoints, partition_pairs, MergeOutcome, ShardCoverage, ShardStatus, Supervisor,
-    SupervisorConfig, SupervisorReport,
+    merge_checkpoints, parse_merged_document, partition_pairs, MergeOutcome, MergedDocument,
+    ShardCoverage, ShardStatus, Supervisor, SupervisorConfig, SupervisorReport, MERGED_MAGIC,
 };
 pub use timeout::{AdaptiveTimeoutConfig, TimeoutEstimators, TimeoutPhase};
 pub use validate::{ValidationConfig, ValidationError, Verdict};

@@ -238,6 +238,141 @@ impl MergeOutcome {
     }
 }
 
+/// The first line of the [`MergeOutcome::to_document`] format.
+pub const MERGED_MAGIC: &str = "# ting merged matrix v1";
+
+/// A merged-matrix document parsed back into data — the read-side
+/// inverse of [`MergeOutcome::to_document`], and the load path the
+/// latency oracle uses to serve a supervised scan's output. Timestamps
+/// come back as raw nanoseconds (the document's own unit) rather than
+/// [`SimTime`], since readers live outside the simulation.
+#[derive(Debug, Clone)]
+pub struct MergedDocument {
+    pub matrix: crate::matrix::RttMatrix,
+    /// Measurement instants, keyed by the pair in ascending-id order.
+    pub measured_at_ns: HashMap<(NodeId, NodeId), u64>,
+    /// Coverage rows, in document (= shard id) order.
+    pub shards: Vec<ShardCoverage>,
+    /// The merge instant staleness was judged against.
+    pub now_ns: u64,
+}
+
+/// Parses a CRC-sealed merged-matrix document. Refuses corrupt seals,
+/// unknown versions, unknown nodes in matrix rows, and malformed
+/// coverage rows — loudly, with the offending line in the error.
+pub fn parse_merged_document(text: &str) -> Result<MergedDocument, String> {
+    let body = crate::checkpoint::verify_sealed(text)?;
+    let mut lines = body.lines().enumerate();
+    let (_, magic) = lines.next().ok_or("empty merged document")?;
+    if magic != MERGED_MAGIC {
+        return Err(format!(
+            "unsupported merged-matrix header {magic:?} (expected {MERGED_MAGIC:?})"
+        ));
+    }
+    let (_, nodes_line) = lines.next().ok_or("missing node list")?;
+    let nodes: Vec<NodeId> = nodes_line
+        .strip_prefix("# nodes:")
+        .ok_or_else(|| format!("line 2 is not a '# nodes:' list: {nodes_line:?}"))?
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<u32>()
+                .map(NodeId)
+                .map_err(|_| format!("line 2: invalid node id {t:?} (expected a u32)"))
+        })
+        .collect::<Result<_, _>>()?;
+    let (_, now_line) = lines.next().ok_or("missing '# now_ns:' line")?;
+    let now_ns: u64 = now_line
+        .strip_prefix("# now_ns: ")
+        .ok_or_else(|| format!("line 3 is not a '# now_ns:' line: {now_line:?}"))?
+        .trim()
+        .parse()
+        .map_err(|e| format!("line 3: invalid now_ns: {e}"))?;
+
+    let mut matrix = crate::matrix::RttMatrix::try_new(nodes)?;
+    let mut measured_at_ns = HashMap::new();
+    let mut shards = Vec::new();
+    for (lineno, line) in lines {
+        let n = lineno + 1;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "s" => {
+                if fields.len() != 9 {
+                    return Err(format!(
+                        "line {n}: coverage row has {} fields, expected 9",
+                        fields.len()
+                    ));
+                }
+                let num = |i: usize, what: &str| -> Result<usize, String> {
+                    fields[i]
+                        .parse()
+                        .map_err(|_| format!("line {n}: invalid {what} {:?}", fields[i]))
+                };
+                let opt_ns = |i: usize, what: &str| -> Result<Option<u64>, String> {
+                    if fields[i] == "-" {
+                        return Ok(None);
+                    }
+                    fields[i]
+                        .parse()
+                        .map(Some)
+                        .map_err(|_| format!("line {n}: invalid {what} {:?}", fields[i]))
+                };
+                let status = match fields[2] {
+                    "live" => "live",
+                    "restarting" => "restarting",
+                    "dead" => "dead",
+                    other => return Err(format!("line {n}: unknown shard status {other:?}")),
+                };
+                shards.push(ShardCoverage {
+                    shard: fields[1]
+                        .parse()
+                        .map_err(|_| format!("line {n}: invalid shard id {:?}", fields[1]))?,
+                    status,
+                    owned: num(3, "owned count")?,
+                    covered: num(4, "covered count")?,
+                    stale: num(5, "stale count")?,
+                    uncovered: num(6, "uncovered count")?,
+                    oldest_ns: opt_ns(7, "oldest_ns")?,
+                    newest_ns: opt_ns(8, "newest_ns")?,
+                });
+            }
+            "m" => {
+                if fields.len() != 5 {
+                    return Err(format!(
+                        "line {n}: matrix row has {} fields, expected 5",
+                        fields.len()
+                    ));
+                }
+                let node = |i: usize| -> Result<NodeId, String> {
+                    fields[i].parse::<u32>().map(NodeId).map_err(|_| {
+                        format!("line {n}: invalid node id {:?} (expected a u32)", fields[i])
+                    })
+                };
+                let (a, b) = (node(1)?, node(2)?);
+                let rtt: f64 = fields[3]
+                    .parse()
+                    .map_err(|e| format!("line {n}: invalid rtt: {e}"))?;
+                let t_ns: u64 = fields[4]
+                    .parse()
+                    .map_err(|e| format!("line {n}: invalid timestamp: {e}"))?;
+                matrix
+                    .try_set(a, b, rtt)
+                    .map_err(|e| format!("line {n}: {e}"))?;
+                measured_at_ns.insert(ordered(a, b), t_ns);
+            }
+            kind => return Err(format!("line {n}: unknown row kind {kind:?}")),
+        }
+    }
+    Ok(MergedDocument {
+        matrix,
+        measured_at_ns,
+        shards,
+        now_ns,
+    })
+}
+
 /// Merges shard checkpoints into one matrix: a fixed shard-ordering
 /// reduction. Entries are `(shard id, status tag from`
 /// [`ShardStatus::tag`]`, sealed checkpoint text)`; ids must be exactly
@@ -721,6 +856,108 @@ mod tests {
 
     fn nodes(n: u32) -> Vec<NodeId> {
         (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn merged_document_parse_inverts_render() {
+        let mut matrix = crate::matrix::RttMatrix::new(nodes(3));
+        matrix.set(NodeId(0), NodeId(1), 12.5);
+        matrix.set(NodeId(1), NodeId(2), 80.25);
+        let mut measured_at = HashMap::new();
+        measured_at.insert((NodeId(0), NodeId(1)), SimTime(1_000));
+        measured_at.insert((NodeId(1), NodeId(2)), SimTime(2_000));
+        let outcome = MergeOutcome {
+            matrix,
+            measured_at,
+            shards: vec![
+                ShardCoverage {
+                    shard: 0,
+                    status: "live",
+                    owned: 2,
+                    covered: 2,
+                    stale: 0,
+                    uncovered: 0,
+                    oldest_ns: Some(1_000),
+                    newest_ns: Some(2_000),
+                },
+                ShardCoverage {
+                    shard: 1,
+                    status: "dead",
+                    owned: 1,
+                    covered: 0,
+                    stale: 0,
+                    uncovered: 1,
+                    oldest_ns: None,
+                    newest_ns: None,
+                },
+            ],
+            now: SimTime(5_000),
+        };
+        let doc = outcome.to_document();
+        let parsed = parse_merged_document(&doc).expect("rendered document must parse");
+        assert_eq!(parsed.matrix, outcome.matrix);
+        assert_eq!(parsed.now_ns, 5_000);
+        assert_eq!(parsed.shards, outcome.shards);
+        assert_eq!(parsed.measured_at_ns[&(NodeId(0), NodeId(1))], 1_000);
+        assert_eq!(parsed.measured_at_ns[&(NodeId(1), NodeId(2))], 2_000);
+        // Re-rendering the parsed state is a byte-identical fixed point.
+        let again = MergeOutcome {
+            matrix: parsed.matrix.clone(),
+            measured_at: parsed
+                .measured_at_ns
+                .iter()
+                .map(|(&k, &v)| (k, SimTime(v)))
+                .collect(),
+            shards: parsed.shards.clone(),
+            now: SimTime(parsed.now_ns),
+        }
+        .to_document();
+        assert_eq!(again, doc);
+    }
+
+    #[test]
+    fn merged_document_parser_refuses_corruption() {
+        let doc = {
+            let mut matrix = crate::matrix::RttMatrix::new(nodes(2));
+            matrix.set(NodeId(0), NodeId(1), 3.5);
+            let mut measured_at = HashMap::new();
+            measured_at.insert((NodeId(0), NodeId(1)), SimTime(7));
+            MergeOutcome {
+                matrix,
+                measured_at,
+                shards: vec![],
+                now: SimTime(9),
+            }
+            .to_document()
+        };
+        // A flipped body byte breaks the CRC seal.
+        let mut corrupt = doc.clone().into_bytes();
+        corrupt[5] ^= 0x01;
+        assert!(parse_merged_document(&String::from_utf8(corrupt).unwrap()).is_err());
+        // An unknown version inside a valid seal is still refused.
+        let v2 = crate::checkpoint::seal(
+            "# ting merged matrix v2\n# nodes: 0 1\n# now_ns: 9\n".to_owned(),
+        );
+        let err = parse_merged_document(&v2).unwrap_err();
+        assert!(err.contains("unsupported merged-matrix header"), "{err}");
+        // Matrix rows naming unknown nodes error with the line number.
+        let bad = crate::checkpoint::seal(
+            "# ting merged matrix v1\n# nodes: 0 1\n# now_ns: 9\nm\t0\t7\t3.5\t1\n".to_owned(),
+        );
+        let err = parse_merged_document(&bad).unwrap_err();
+        assert!(
+            err.contains("line 4") && err.contains("unknown node 7"),
+            "{err}"
+        );
+        // Unknown row kinds and truncated coverage rows are refused.
+        let bad = crate::checkpoint::seal(
+            "# ting merged matrix v1\n# nodes: 0 1\n# now_ns: 9\nx\t1\n".to_owned(),
+        );
+        assert!(parse_merged_document(&bad).is_err());
+        let bad = crate::checkpoint::seal(
+            "# ting merged matrix v1\n# nodes: 0 1\n# now_ns: 9\ns\t0\tlive\t1\n".to_owned(),
+        );
+        assert!(parse_merged_document(&bad).is_err());
     }
 
     #[test]

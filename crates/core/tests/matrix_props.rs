@@ -1,0 +1,117 @@
+//! Property tests for the RTT-matrix TSV dataset format.
+//!
+//! §4.6's cacheable all-pairs dataset is only trustworthy if the cache
+//! file is: `render ∘ parse == id` must hold exactly — including the
+//! f64 payloads, which `to_tsv` prints via `{}` (shortest
+//! representation that round-trips) — over arbitrary node sets and
+//! coverage patterns.
+
+use netsim::NodeId;
+use proptest::prelude::*;
+use ting::{RttMatrix, TSV_MAGIC};
+
+/// Arbitrary node-id sets: spread across the u32 range, deduplicated.
+fn node_set() -> impl Strategy<Value = Vec<NodeId>> {
+    prop::collection::vec(any::<u32>(), 1..24).prop_map(|mut ids| {
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(NodeId).collect()
+    })
+}
+
+/// Finite f64 values drawn from raw bit patterns, so subnormals, huge
+/// magnitudes, and awkward fractions all appear — not just round
+/// decimals.
+fn exact_f64s() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(any::<u64>(), 0..64).prop_map(|bits| {
+        bits.into_iter()
+            .map(f64::from_bits)
+            .map(|v| if v.is_finite() { v } else { 1.5 })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn tsv_roundtrip_is_identity(nodes in node_set(), values in exact_f64s()) {
+        let mut m = RttMatrix::new(nodes.clone());
+        // Fill an arbitrary prefix of the pair list with exact values.
+        let mut vi = values.iter();
+        'fill: for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                match vi.next() {
+                    Some(&v) => m.set(a, b, v),
+                    None => break 'fill,
+                }
+            }
+        }
+        let tsv = m.to_tsv();
+        let back = RttMatrix::from_tsv(&tsv).expect("own rendering must parse");
+        prop_assert_eq!(&back, &m);
+        // And rendering the parsed matrix is a byte-level fixed point.
+        prop_assert_eq!(back.to_tsv(), tsv);
+    }
+
+    #[test]
+    fn tsv_parser_never_panics_on_arbitrary_text(text in "[a-z0-9\t\n #.:-]{0,200}") {
+        // Errors are fine; aborts are not. (Pre-fix, a row naming an
+        // unknown node panicked instead of erroring.)
+        let _ = RttMatrix::from_tsv(&text);
+    }
+
+    #[test]
+    fn tsv_corrupted_node_id_never_loads_silently(frac in 1u32..1000, denom in 1u32..100) {
+        // A fractional id anywhere must fail the whole load — the
+        // pre-fix parser truncated it through f64 and filed the row
+        // under the wrong pair.
+        let doc = format!(
+            "{TSV_MAGIC}\n# nodes: 1 2 3\n1\t2\t10.5\n{frac}.{denom}\t3\t4.5\n"
+        );
+        prop_assert!(RttMatrix::from_tsv(&doc).is_err());
+    }
+}
+
+#[test]
+fn corruption_cases_for_each_error_path() {
+    let good = format!("{TSV_MAGIC}\n# nodes: 1 2 3\n1\t2\t10.5\n2\t3\t4.25\n");
+    assert!(RttMatrix::from_tsv(&good).is_ok());
+
+    let cases: &[(&str, String)] = &[
+        ("empty input", String::new()),
+        ("wrong magic", good.replacen("v1", "v9", 1)),
+        ("missing node list", format!("{TSV_MAGIC}\n")),
+        (
+            "malformed node list",
+            good.replacen("# nodes:", "# relays:", 1),
+        ),
+        (
+            "fractional header id",
+            good.replacen("# nodes: 1 2 3", "# nodes: 1 2.5 3", 1),
+        ),
+        (
+            "duplicate header id",
+            good.replacen("# nodes: 1 2 3", "# nodes: 1 2 2", 1),
+        ),
+        (
+            "unknown node in row",
+            good.replacen("2\t3\t4.25", "2\t9\t4.25", 1),
+        ),
+        (
+            "fractional row id",
+            good.replacen("2\t3\t4.25", "2.5\t3\t4.25", 1),
+        ),
+        (
+            "oversized row id",
+            good.replacen("2\t3\t4.25", "5000000000\t3\t4.25", 1),
+        ),
+        ("missing rtt field", good.replacen("2\t3\t4.25", "2\t3", 1)),
+        ("unparseable rtt", good.replacen("4.25", "fast", 1)),
+        ("non-finite rtt", good.replacen("4.25", "nan", 1)),
+    ];
+    for (what, doc) in cases {
+        assert!(
+            RttMatrix::from_tsv(doc).is_err(),
+            "{what}: corrupt document must be refused:\n{doc}"
+        );
+    }
+}

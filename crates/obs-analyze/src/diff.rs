@@ -1,7 +1,11 @@
 //! Bench diff engine and CI regression gate.
 //!
-//! Compares two `BENCH_scan.json` documents (schema
-//! `ting-bench-scan-v1`, written by `bench --bin perf_baseline`). The
+//! Compares two bench baseline documents of the same schema: scan
+//! baselines (`ting-bench-scan-v1`, written by `bench --bin
+//! perf_baseline`) or oracle serving baselines (`ting-bench-oracle-v1`,
+//! written by `bench --bin oracle_load`, whose "phases" are served-RTT
+//! distributions rather than wall latencies — equally deterministic for
+//! a fixed seed). The
 //! gated metrics are the per-phase latency quantiles, which are
 //! **virtual-time** measurements: for a fixed seed and config they are
 //! bit-deterministic, so the gate has no flakiness budget — any drift
@@ -21,9 +25,15 @@ pub struct PhaseStats {
     pub max_us: u64,
 }
 
-/// A parsed `ting-bench-scan-v1` document.
+/// Bench schemas the diff engine understands. Both share the same
+/// field shape; they differ in what the phase histograms mean
+/// (virtual-time phase latencies vs served-RTT distributions).
+pub const KNOWN_SCHEMAS: [&str; 2] = ["ting-bench-scan-v1", "ting-bench-oracle-v1"];
+
+/// A parsed bench baseline document (see [`KNOWN_SCHEMAS`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
+    pub schema: String,
     pub seed: u64,
     pub config_hash: String,
     pub relays: u64,
@@ -42,7 +52,7 @@ pub struct BenchDoc {
 pub fn parse_bench(text: &str) -> Result<BenchDoc, String> {
     let v = json::parse(text.trim_end())?;
     let schema = v.get("schema").ok_or("missing schema")?.as_str("schema")?;
-    if schema != "ting-bench-scan-v1" {
+    if !KNOWN_SCHEMAS.contains(&schema) {
         return Err(format!("unsupported bench schema {schema:?}"));
     }
     let u = |key: &str| -> Result<u64, String> {
@@ -71,6 +81,7 @@ pub fn parse_bench(text: &str) -> Result<BenchDoc, String> {
         ));
     }
     Ok(BenchDoc {
+        schema: schema.to_owned(),
         seed: u("seed")?,
         config_hash: v
             .get("config_hash")
@@ -164,6 +175,13 @@ pub fn diff(base: &BenchDoc, current: &BenchDoc, tolerance: f64) -> DiffReport {
         incomparable: None,
         tolerance,
     };
+    if base.schema != current.schema {
+        report.incomparable = Some(format!(
+            "schema mismatch: base {:?} vs current {:?}",
+            base.schema, current.schema
+        ));
+        return report;
+    }
     if base.seed != current.seed {
         report.incomparable = Some(format!(
             "seed mismatch: base {} vs current {}",
@@ -223,6 +241,7 @@ mod tests {
 
     fn bench(p50: u64) -> BenchDoc {
         BenchDoc {
+            schema: "ting-bench-scan-v1".into(),
             seed: 2015,
             config_hash: "aa".into(),
             relays: 16,
@@ -288,5 +307,28 @@ mod tests {
         assert_eq!(doc.seed, 2015);
         assert_eq!(doc.phases.len(), 1);
         assert_eq!(doc.phases[0].1.p99_us, 4);
+    }
+
+    #[test]
+    fn parses_the_oracle_load_shape() {
+        let text = "{\"schema\":\"ting-bench-oracle-v1\",\"seed\":2015,\
+                    \"config_hash\":\"00aabbccddeeff00\",\"relays\":300,\"samples\":16,\
+                    \"reps\":3,\"pairs\":2030000,\"measured\":2030000,\"failed\":0,\
+                    \"wall_s\":0.41,\"virtual_s\":0.0,\"pairs_per_wall_s\":7000000.0,\
+                    \"phases\":{\"point\":{\"count\":2000000,\"min_us\":1013,\"p50_us\":151551,\
+                    \"p90_us\":270335,\"p99_us\":300000,\"max_us\":300000}}}\n";
+        let doc = parse_bench(text).unwrap();
+        assert_eq!(doc.schema, "ting-bench-oracle-v1");
+        assert_eq!(doc.phases[0].0, "point");
+        assert!(parse_bench(&text.replace("oracle-v1", "oracle-v2")).is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_is_incomparable() {
+        let mut other = bench(5000);
+        other.schema = "ting-bench-oracle-v1".into();
+        let report = diff(&bench(5000), &other, 0.10);
+        assert!(report.failed());
+        assert!(report.incomparable.unwrap().contains("schema mismatch"));
     }
 }

@@ -1,0 +1,35 @@
+//! **The latency oracle**: a long-running, snapshot-isolated query
+//! service over the all-pairs Tor RTT matrix.
+//!
+//! §4.6 of the Ting paper argues measurements are stable enough to
+//! cache and serve as a dataset; every §5 application — and ShorTor's
+//! multi-hop overlay routing after it — consumes exactly that dataset.
+//! This crate is the read-side serving layer: it loads a matrix from
+//! the §4.6 TSV cache or a sharded scan's merged checkpoint document,
+//! freezes it into an immutable [`Snapshot`] (dense index-addressed
+//! [`ting::RttView`] + freshness metadata), and answers three query
+//! families:
+//!
+//! * **point lookup** — [`Oracle::rtt`]: `R(x, y)` with the
+//!   measurement timestamp, age, and generation it came from;
+//! * **k-nearest relays** — [`Oracle::k_nearest`]: the `k` lowest-RTT
+//!   neighbors of a relay, deterministic tie-breaks;
+//! * **via-relay detour** — [`Oracle::best_via`]: ShorTor-style
+//!   `argmin_v R(x,v) + R(v,y)`, the same kernel `analysis::tiv` uses
+//!   for Figs. 14–15, so research analysis and serving path cannot
+//!   drift apart.
+//!
+//! Concurrency model: publishes swap an `Arc<Snapshot>` behind a lock
+//! held for nanoseconds; readers ([`OracleReader`], `Send + Sync`)
+//! clone the `Arc` and query immutable data, so a scanner/ingest loop
+//! can publish fresher generations forever without ever blocking a
+//! reader or tearing a dataset mid-query.
+
+pub mod service;
+pub mod snapshot;
+
+pub use service::{Oracle, OracleReader};
+pub use snapshot::{
+    DetourAnswer, Neighbor, PointAnswer, QueryError, ShardSummary, Snapshot, SnapshotMeta,
+    SnapshotSource,
+};

@@ -1,0 +1,295 @@
+//! The long-running query service: publish/swap on one side, wait-free
+//! reads on the other.
+//!
+//! The [`Oracle`] owns the mutable end — it stamps each published
+//! [`Snapshot`] with a strictly increasing version and swaps it behind
+//! an `RwLock<Arc<Snapshot>>`. The lock is held only long enough to
+//! clone or replace the `Arc` (nanoseconds), never while answering a
+//! query, so ingest-side swaps never block readers and a reader
+//! holding an old `Arc` keeps a perfectly consistent generation for as
+//! long as it likes — snapshot isolation by immutability.
+//!
+//! [`OracleReader`] is the `Send + Sync` handle for reader threads; it
+//! shares the swap cell but carries no metrics (the `obs` registry is
+//! deliberately single-threaded). Queries through the `Oracle` itself
+//! tick per-family counters and record answered-RTT histograms under
+//! the `oracle.*` names registered in `obs::names`.
+
+use crate::snapshot::{DetourAnswer, Neighbor, PointAnswer, QueryError, Snapshot};
+use netsim::NodeId;
+use obs::{names, Counter, Hist, Obs, Value};
+use std::sync::{Arc, RwLock};
+
+/// Pre-resolved metric handles for the query hot path.
+#[derive(Debug, Clone, Default)]
+struct Metrics {
+    point: Counter,
+    nearest: Counter,
+    detour: Counter,
+    unknown: Counter,
+    unmeasured: Counter,
+    h_point: Hist,
+    h_nearest: Hist,
+    h_detour: Hist,
+}
+
+impl Metrics {
+    fn new(obs: &Obs) -> Metrics {
+        Metrics {
+            point: obs.counter_handle(names::ORACLE_QUERY_POINT),
+            nearest: obs.counter_handle(names::ORACLE_QUERY_NEAREST),
+            detour: obs.counter_handle(names::ORACLE_QUERY_DETOUR),
+            unknown: obs.counter_handle(names::ORACLE_QUERY_UNKNOWN_NODE),
+            unmeasured: obs.counter_handle(names::ORACLE_QUERY_UNMEASURED),
+            h_point: obs.hist_handle(names::ORACLE_ANSWER_POINT_US),
+            h_nearest: obs.hist_handle(names::ORACLE_ANSWER_NEAREST_US),
+            h_detour: obs.hist_handle(names::ORACLE_ANSWER_DETOUR_US),
+        }
+    }
+}
+
+/// The service-side handle: owns publishing and the instrumented query
+/// front. Single-threaded by design (the `obs` registry is `Rc`-based);
+/// hand [`OracleReader`]s to concurrent consumers.
+#[derive(Debug)]
+pub struct Oracle {
+    shared: Arc<RwLock<Arc<Snapshot>>>,
+    version: u64,
+    obs: Obs,
+    metrics: Metrics,
+}
+
+impl Oracle {
+    /// Creates a service serving `initial` as generation 1, without
+    /// observability.
+    pub fn new(initial: Snapshot) -> Oracle {
+        Oracle::with_obs(initial, Obs::off())
+    }
+
+    /// Creates a service with metrics/trace wired to `obs`.
+    pub fn with_obs(mut initial: Snapshot, obs: Obs) -> Oracle {
+        initial.stamp_version(1);
+        let metrics = Metrics::new(&obs);
+        let oracle = Oracle {
+            shared: Arc::new(RwLock::new(Arc::new(initial))),
+            version: 1,
+            obs,
+            metrics,
+        };
+        oracle.note_swap();
+        oracle
+    }
+
+    /// Publishes a fresher generation: stamps the next version and
+    /// swaps it in. Readers already holding the previous `Arc` are
+    /// untouched; new reads see the new generation. Returns the
+    /// published version.
+    pub fn publish(&mut self, mut snapshot: Snapshot) -> u64 {
+        self.version += 1;
+        snapshot.stamp_version(self.version);
+        let next = Arc::new(snapshot);
+        *self.shared.write().expect("oracle swap cell poisoned") = next;
+        self.note_swap();
+        self.version
+    }
+
+    fn note_swap(&self) {
+        let snap = self.snapshot();
+        let meta = snap.meta();
+        self.obs
+            .set_gauge("oracle.snapshot.version", meta.version as i64);
+        self.obs
+            .set_gauge("oracle.snapshot.measured_pairs", meta.measured_pairs as i64);
+        if self.obs.is_tracing() {
+            self.obs.event(
+                names::ORACLE_SNAPSHOT_SWAP,
+                meta.now_ns.unwrap_or(0),
+                vec![
+                    ("version", Value::U64(meta.version)),
+                    ("nodes", Value::U64(meta.nodes as u64)),
+                    ("measured_pairs", Value::U64(meta.measured_pairs as u64)),
+                ],
+            );
+        }
+    }
+
+    /// The currently served generation.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared
+            .read()
+            .expect("oracle swap cell poisoned")
+            .clone()
+    }
+
+    /// The latest published version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// A `Send + Sync` handle for concurrent reader threads.
+    pub fn reader(&self) -> OracleReader {
+        OracleReader {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Instrumented point lookup `R(x, y)`.
+    #[inline]
+    pub fn rtt(&self, x: NodeId, y: NodeId) -> Result<PointAnswer, QueryError> {
+        self.metrics.point.inc();
+        let answer = self.snapshot().rtt(x, y);
+        match &answer {
+            Ok(a) => match a.rtt_ms {
+                Some(ms) => self.metrics.h_point.record_ms(ms),
+                None => self.metrics.unmeasured.inc(),
+            },
+            Err(_) => self.metrics.unknown.inc(),
+        }
+        answer
+    }
+
+    /// Instrumented k-nearest-relay query.
+    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<Vec<Neighbor>, QueryError> {
+        self.metrics.nearest.inc();
+        let answer = self.snapshot().k_nearest(x, k);
+        match &answer {
+            Ok(neighbors) => {
+                for n in neighbors {
+                    self.metrics.h_nearest.record_ms(n.rtt_ms);
+                }
+            }
+            Err(_) => self.metrics.unknown.inc(),
+        }
+        answer
+    }
+
+    /// Instrumented ShorTor-style via-relay detour search.
+    pub fn best_via(&self, x: NodeId, y: NodeId) -> Result<DetourAnswer, QueryError> {
+        self.metrics.detour.inc();
+        let answer = self.snapshot().best_via(x, y);
+        match &answer {
+            Ok(d) => {
+                if let Some(v) = &d.via {
+                    self.metrics.h_detour.record_ms(v.rtt_ms);
+                }
+            }
+            Err(_) => self.metrics.unknown.inc(),
+        }
+        answer
+    }
+}
+
+/// A thread-safe read handle: shares the oracle's swap cell, never
+/// blocks on (or observes a half-applied) publish. Clone freely.
+#[derive(Debug, Clone)]
+pub struct OracleReader {
+    shared: Arc<RwLock<Arc<Snapshot>>>,
+}
+
+impl OracleReader {
+    /// The currently served generation. Hold the `Arc` to pin a
+    /// consistent dataset across many queries.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared
+            .read()
+            .expect("oracle swap cell poisoned")
+            .clone()
+    }
+
+    /// Convenience point lookup against the current generation.
+    pub fn rtt(&self, x: NodeId, y: NodeId) -> Result<PointAnswer, QueryError> {
+        self.snapshot().rtt(x, y)
+    }
+
+    /// Convenience k-nearest against the current generation.
+    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<Vec<Neighbor>, QueryError> {
+        self.snapshot().k_nearest(x, k)
+    }
+
+    /// Convenience detour search against the current generation.
+    pub fn best_via(&self, x: NodeId, y: NodeId) -> Result<DetourAnswer, QueryError> {
+        self.snapshot().best_via(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{names, Obs, ObsConfig};
+    use ting::RttMatrix;
+
+    fn snap(value: f64) -> Snapshot {
+        let mut m = RttMatrix::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        m.set(NodeId(0), NodeId(1), value);
+        m.set(NodeId(0), NodeId(2), value);
+        m.set(NodeId(1), NodeId(2), value);
+        Snapshot::from_matrix(&m)
+    }
+
+    #[test]
+    fn publish_bumps_versions_and_answers_cite_them() {
+        let mut oracle = Oracle::new(snap(5.0));
+        assert_eq!(oracle.version(), 1);
+        let a = oracle.rtt(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!((a.rtt_ms, a.snapshot_version), (Some(5.0), 1));
+        assert_eq!(oracle.publish(snap(6.0)), 2);
+        let a = oracle.rtt(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!((a.rtt_ms, a.snapshot_version), (Some(6.0), 2));
+    }
+
+    #[test]
+    fn held_snapshot_survives_a_publish() {
+        let mut oracle = Oracle::new(snap(5.0));
+        let held = oracle.snapshot();
+        oracle.publish(snap(6.0));
+        assert_eq!(held.rtt(NodeId(0), NodeId(1)).unwrap().rtt_ms, Some(5.0));
+        assert_eq!(
+            oracle.snapshot().rtt(NodeId(0), NodeId(1)).unwrap().rtt_ms,
+            Some(6.0)
+        );
+    }
+
+    #[test]
+    fn query_families_tick_their_counters() {
+        let obs = Obs::new(ObsConfig::Metrics);
+        let oracle = Oracle::with_obs(snap(5.0), obs.clone());
+        let _ = oracle.rtt(NodeId(0), NodeId(1));
+        let _ = oracle.rtt(NodeId(0), NodeId(9)); // unknown node
+        let _ = oracle.k_nearest(NodeId(0), 2);
+        let _ = oracle.best_via(NodeId(0), NodeId(1));
+        assert_eq!(obs.counter_value(names::ORACLE_QUERY_POINT), 2);
+        assert_eq!(obs.counter_value(names::ORACLE_QUERY_NEAREST), 1);
+        assert_eq!(obs.counter_value(names::ORACLE_QUERY_DETOUR), 1);
+        assert_eq!(obs.counter_value(names::ORACLE_QUERY_UNKNOWN_NODE), 1);
+        let h = obs.histogram(names::ORACLE_ANSWER_POINT_US).unwrap();
+        assert_eq!(h.count(), 1);
+        let h = obs.histogram(names::ORACLE_ANSWER_NEAREST_US).unwrap();
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn unmeasured_pairs_count_separately_from_unknown_nodes() {
+        let obs = Obs::new(ObsConfig::Metrics);
+        let mut m = RttMatrix::new(vec![NodeId(0), NodeId(1)]);
+        m.set(NodeId(0), NodeId(1), 1.0);
+        let mut sparse = RttMatrix::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        sparse.set(NodeId(0), NodeId(1), 1.0);
+        let oracle = Oracle::with_obs(Snapshot::from_matrix(&sparse), obs.clone());
+        let _ = oracle.rtt(NodeId(0), NodeId(2)); // in set, unmeasured
+        assert_eq!(obs.counter_value(names::ORACLE_QUERY_UNMEASURED), 1);
+        assert_eq!(obs.counter_value(names::ORACLE_QUERY_UNKNOWN_NODE), 0);
+    }
+
+    #[test]
+    fn swap_emits_the_registered_trace_event() {
+        let obs = Obs::new(ObsConfig::Trace);
+        let mut oracle = Oracle::with_obs(snap(5.0), obs.clone());
+        oracle.publish(snap(6.0));
+        let swaps: Vec<_> = obs
+            .events()
+            .into_iter()
+            .filter(|e| e.name == names::ORACLE_SNAPSHOT_SWAP)
+            .collect();
+        assert_eq!(swaps.len(), 2, "initial publish + explicit publish");
+    }
+}

@@ -1,0 +1,422 @@
+//! Immutable matrix snapshots: what the oracle actually serves.
+//!
+//! A [`Snapshot`] is a fully materialized, read-only copy of one
+//! generation of the RTT dataset — the dense [`RttView`] for lookups,
+//! per-pair measurement timestamps when the source carries them (the
+//! merged shard checkpoint does; a bare TSV does not), and the
+//! [`SnapshotMeta`] freshness/coverage summary every answer cites.
+//! Snapshots are plain data (`Send + Sync`), so the service can hand
+//! `Arc<Snapshot>`s to any number of reader threads and swap in a
+//! fresher generation without blocking or mutating anything a reader
+//! already holds.
+
+use netsim::NodeId;
+use ting::shard::{parse_merged_document, ShardCoverage};
+use ting::{RttMatrix, RttView};
+
+/// Where a snapshot's data came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotSource {
+    /// Built directly from an in-memory [`RttMatrix`].
+    Matrix,
+    /// Loaded from the [`RttMatrix::to_tsv`] cache format (§4.6).
+    Tsv,
+    /// Loaded from a CRC-sealed merged shard checkpoint document
+    /// ([`ting::MergeOutcome::to_document`]) — carries per-pair
+    /// timestamps and per-shard coverage.
+    MergedCheckpoint,
+}
+
+/// Shard-coverage summary of a merged-checkpoint snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardSummary {
+    pub total: usize,
+    pub live: usize,
+    pub restarting: usize,
+    pub dead: usize,
+    /// Covered pairs the merge judged stale.
+    pub stale_pairs: usize,
+}
+
+/// Freshness and coverage metadata for one snapshot generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotMeta {
+    /// Publish generation, stamped by the service on swap-in (0 until
+    /// then). Strictly increasing per oracle, so clients can detect a
+    /// dataset change between two answers.
+    pub version: u64,
+    pub source: SnapshotSource,
+    pub nodes: usize,
+    /// Off-diagonal pairs the node set implies.
+    pub total_pairs: usize,
+    /// Off-diagonal pairs with a measurement.
+    pub measured_pairs: usize,
+    /// The instant the dataset was judged against (the merge's
+    /// `now_ns`); `None` for sources without a clock.
+    pub now_ns: Option<u64>,
+    /// Oldest / newest measurement timestamp in the dataset.
+    pub oldest_ns: Option<u64>,
+    pub newest_ns: Option<u64>,
+    /// Per-shard status tallies (merged checkpoints only).
+    pub shards: Option<ShardSummary>,
+}
+
+impl SnapshotMeta {
+    /// Measured fraction of the pair space, `[0, 1]` (1.0 when empty).
+    pub fn coverage(&self) -> f64 {
+        if self.total_pairs == 0 {
+            return 1.0;
+        }
+        self.measured_pairs as f64 / self.total_pairs as f64
+    }
+}
+
+/// A query that cannot be answered against the snapshot's node set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The named node is not in the snapshot's relay set.
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownNode(n) => write!(f, "unknown node {}", n.0),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A point-lookup answer: the RTT (if measured) plus the freshness
+/// metadata a cache-consuming client needs to decide whether to trust
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointAnswer {
+    /// `R(x, y)` in milliseconds; `None` when the pair is in the relay
+    /// set but unmeasured. The diagonal is 0.
+    pub rtt_ms: Option<f64>,
+    /// When the pair was measured (merged-checkpoint snapshots only).
+    pub measured_at_ns: Option<u64>,
+    /// Age at the snapshot's `now_ns`, when both instants are known.
+    pub age_ns: Option<u64>,
+    /// The generation that produced this answer.
+    pub snapshot_version: u64,
+}
+
+/// One relay in a k-nearest answer, or the via relay of a detour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    pub node: NodeId,
+    pub rtt_ms: f64,
+}
+
+/// A ShorTor-style via-relay answer for `x → y`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetourAnswer {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Direct `R(src, dst)`; `None` when unmeasured.
+    pub direct_ms: Option<f64>,
+    /// Best via relay with its combined `R(src, v) + R(v, dst)`;
+    /// `None` when no third relay has both legs measured.
+    pub via: Option<Neighbor>,
+    pub snapshot_version: u64,
+}
+
+impl DetourAnswer {
+    /// Whether routing through the via relay beats the direct path —
+    /// the pair has a triangle-inequality violation. A detour with no
+    /// measured direct path counts: it offers connectivity where the
+    /// dataset offers none.
+    pub fn is_improvement(&self) -> bool {
+        match (&self.via, self.direct_ms) {
+            (Some(v), Some(d)) => v.rtt_ms < d,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Relative saving in percent (Fig. 14's x-axis); 0 when no
+    /// improvement or no measured direct path to compare against.
+    pub fn savings_percent(&self) -> f64 {
+        match (&self.via, self.direct_ms) {
+            (Some(v), Some(d)) if v.rtt_ms < d => (1.0 - v.rtt_ms / d) * 100.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Sentinel for "no timestamp" in the dense timestamp table, chosen so
+/// a legitimate `t = 0` (the virtual epoch) stays representable.
+const NO_TIMESTAMP: u64 = u64::MAX;
+
+/// One immutable generation of the served dataset.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    view: RttView,
+    /// Dense `n × n` measurement instants mirroring the view's layout;
+    /// `None` for sources without timestamps.
+    measured_at_ns: Option<Vec<u64>>,
+    meta: SnapshotMeta,
+}
+
+impl Snapshot {
+    /// Builds a snapshot straight from an in-memory matrix (no
+    /// timestamps — e.g. a freshly measured dataset).
+    pub fn from_matrix(matrix: &RttMatrix) -> Snapshot {
+        let view = matrix.view();
+        let n = view.len();
+        let measured_pairs = view.measured_pairs();
+        Snapshot {
+            view,
+            measured_at_ns: None,
+            meta: SnapshotMeta {
+                version: 0,
+                source: SnapshotSource::Matrix,
+                nodes: n,
+                total_pairs: n * (n.max(1) - 1) / 2,
+                measured_pairs,
+                now_ns: None,
+                oldest_ns: None,
+                newest_ns: None,
+                shards: None,
+            },
+        }
+    }
+
+    /// Loads the [`RttMatrix::to_tsv`] cache format.
+    pub fn from_tsv(text: &str) -> Result<Snapshot, String> {
+        let matrix = RttMatrix::from_tsv(text)?;
+        let mut snap = Snapshot::from_matrix(&matrix);
+        snap.meta.source = SnapshotSource::Tsv;
+        Ok(snap)
+    }
+
+    /// Loads a CRC-sealed merged shard checkpoint document — the
+    /// richest source: per-pair timestamps, the merge instant, and
+    /// per-shard coverage all survive into the snapshot metadata.
+    pub fn from_merged_document(text: &str) -> Result<Snapshot, String> {
+        let doc = parse_merged_document(text)?;
+        let mut snap = Snapshot::from_matrix(&doc.matrix);
+        snap.meta.source = SnapshotSource::MergedCheckpoint;
+        snap.meta.now_ns = Some(doc.now_ns);
+        snap.meta.shards = Some(summarize_shards(&doc.shards));
+
+        let n = snap.view.len();
+        let mut table = vec![NO_TIMESTAMP; n * n];
+        let (mut oldest, mut newest) = (None::<u64>, None::<u64>);
+        for (&(a, b), &t) in &doc.measured_at_ns {
+            let (Some(i), Some(j)) = (snap.view.index_of(a), snap.view.index_of(b)) else {
+                continue;
+            };
+            table[i as usize * n + j as usize] = t;
+            table[j as usize * n + i as usize] = t;
+            oldest = Some(oldest.map_or(t, |o: u64| o.min(t)));
+            newest = Some(newest.map_or(t, |o: u64| o.max(t)));
+        }
+        snap.measured_at_ns = Some(table);
+        snap.meta.oldest_ns = oldest;
+        snap.meta.newest_ns = newest;
+        Ok(snap)
+    }
+
+    pub fn meta(&self) -> &SnapshotMeta {
+        &self.meta
+    }
+
+    /// The underlying read view (for bulk consumers that want to work
+    /// in index space themselves).
+    pub fn view(&self) -> &RttView {
+        &self.view
+    }
+
+    pub(crate) fn stamp_version(&mut self, version: u64) {
+        self.meta.version = version;
+    }
+
+    fn resolve(&self, n: NodeId) -> Result<u32, QueryError> {
+        self.view.index_of(n).ok_or(QueryError::UnknownNode(n))
+    }
+
+    /// Point lookup `R(x, y)` with freshness metadata.
+    #[inline]
+    pub fn rtt(&self, x: NodeId, y: NodeId) -> Result<PointAnswer, QueryError> {
+        let (i, j) = (self.resolve(x)?, self.resolve(y)?);
+        let rtt_ms = self.view.get_idx(i, j);
+        let measured_at_ns = self.measured_at_ns.as_deref().and_then(|t| {
+            let v = t[i as usize * self.view.len() + j as usize];
+            if v == NO_TIMESTAMP {
+                None
+            } else {
+                Some(v)
+            }
+        });
+        let age_ns = match (self.meta.now_ns, measured_at_ns) {
+            (Some(now), Some(at)) => Some(now.saturating_sub(at)),
+            _ => None,
+        };
+        Ok(PointAnswer {
+            rtt_ms,
+            measured_at_ns,
+            age_ns,
+            snapshot_version: self.meta.version,
+        })
+    }
+
+    /// The `k` relays nearest to `x` (measured pairs only, `x` itself
+    /// excluded), ascending by RTT with index order breaking ties —
+    /// fully deterministic for a given snapshot.
+    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<Vec<Neighbor>, QueryError> {
+        let i = self.resolve(x)?;
+        let row = self.view.row(i);
+        let mut candidates: Vec<(f64, u32)> = row
+            .iter()
+            .enumerate()
+            .filter(|&(v, &ms)| v as u32 != i && !ms.is_nan())
+            .map(|(v, &ms)| (ms, v as u32))
+            .collect();
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        candidates.truncate(k);
+        Ok(candidates
+            .into_iter()
+            .map(|(rtt_ms, v)| Neighbor {
+                node: self.view.node(v),
+                rtt_ms,
+            })
+            .collect())
+    }
+
+    /// ShorTor-style detour search: the via relay minimizing
+    /// `R(x, v) + R(v, y)`, via the same kernel `analysis::tiv` uses.
+    pub fn best_via(&self, x: NodeId, y: NodeId) -> Result<DetourAnswer, QueryError> {
+        let (i, j) = (self.resolve(x)?, self.resolve(y)?);
+        let via = self.view.best_detour(i, j).map(|best| Neighbor {
+            node: self.view.node(best.via),
+            rtt_ms: best.rtt_ms,
+        });
+        Ok(DetourAnswer {
+            src: x,
+            dst: y,
+            direct_ms: self.view.get_idx(i, j),
+            via,
+            snapshot_version: self.meta.version,
+        })
+    }
+}
+
+fn summarize_shards(shards: &[ShardCoverage]) -> ShardSummary {
+    let mut s = ShardSummary {
+        total: shards.len(),
+        ..ShardSummary::default()
+    };
+    for c in shards {
+        match c.status {
+            "live" => s.live += 1,
+            "restarting" => s.restarting += 1,
+            _ => s.dead += 1,
+        }
+        s.stale_pairs += c.stale;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> RttMatrix {
+        let mut m = RttMatrix::new(vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        m.set(NodeId(1), NodeId(2), 10.0);
+        m.set(NodeId(1), NodeId(3), 30.0);
+        m.set(NodeId(2), NodeId(3), 5.0);
+        // (1, 4), (2, 4), (3, 4) unmeasured.
+        m
+    }
+
+    #[test]
+    fn point_lookup_and_coverage() {
+        let s = Snapshot::from_matrix(&matrix());
+        assert_eq!(s.meta().total_pairs, 6);
+        assert_eq!(s.meta().measured_pairs, 3);
+        assert!((s.meta().coverage() - 0.5).abs() < 1e-12);
+        let a = s.rtt(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(a.rtt_ms, Some(10.0));
+        assert_eq!(a.measured_at_ns, None, "matrix sources carry no timestamps");
+        assert_eq!(s.rtt(NodeId(1), NodeId(4)).unwrap().rtt_ms, None);
+        assert_eq!(s.rtt(NodeId(3), NodeId(3)).unwrap().rtt_ms, Some(0.0));
+        assert_eq!(
+            s.rtt(NodeId(9), NodeId(1)),
+            Err(QueryError::UnknownNode(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn k_nearest_orders_and_excludes() {
+        let s = Snapshot::from_matrix(&matrix());
+        let near = s.k_nearest(NodeId(1), 10).unwrap();
+        // Node 4 is unmeasured from 1; node 1 itself excluded.
+        assert_eq!(
+            near,
+            vec![
+                Neighbor {
+                    node: NodeId(2),
+                    rtt_ms: 10.0
+                },
+                Neighbor {
+                    node: NodeId(3),
+                    rtt_ms: 30.0
+                },
+            ]
+        );
+        assert_eq!(s.k_nearest(NodeId(1), 1).unwrap().len(), 1);
+        assert_eq!(s.k_nearest(NodeId(4), 5).unwrap(), vec![]);
+        assert!(s.k_nearest(NodeId(9), 1).is_err());
+    }
+
+    #[test]
+    fn k_nearest_breaks_ties_by_index() {
+        let mut m = RttMatrix::new(vec![NodeId(5), NodeId(6), NodeId(7)]);
+        m.set(NodeId(5), NodeId(6), 4.0);
+        m.set(NodeId(5), NodeId(7), 4.0);
+        let s = Snapshot::from_matrix(&m);
+        let near = s.k_nearest(NodeId(5), 2).unwrap();
+        assert_eq!(near[0].node, NodeId(6));
+        assert_eq!(near[1].node, NodeId(7));
+    }
+
+    #[test]
+    fn detour_answers_and_improvement() {
+        let mut m = RttMatrix::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        m.set(NodeId(0), NodeId(1), 100.0);
+        m.set(NodeId(0), NodeId(2), 20.0);
+        m.set(NodeId(1), NodeId(2), 20.0);
+        let s = Snapshot::from_matrix(&m);
+        let d = s.best_via(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(d.direct_ms, Some(100.0));
+        assert_eq!(
+            d.via,
+            Some(Neighbor {
+                node: NodeId(2),
+                rtt_ms: 40.0
+            })
+        );
+        assert!(d.is_improvement());
+        assert!((d.savings_percent() - 60.0).abs() < 1e-9);
+        // The cheap legs have no improving detour.
+        let d = s.best_via(NodeId(0), NodeId(2)).unwrap();
+        assert!(!d.is_improvement());
+        assert_eq!(d.savings_percent(), 0.0);
+    }
+
+    #[test]
+    fn tsv_snapshot_roundtrip_and_errors() {
+        let m = matrix();
+        let s = Snapshot::from_tsv(&m.to_tsv()).unwrap();
+        assert_eq!(s.meta().source, SnapshotSource::Tsv);
+        assert_eq!(s.rtt(NodeId(2), NodeId(3)).unwrap().rtt_ms, Some(5.0));
+        // Load-path failures surface the matrix parser's errors.
+        let err = Snapshot::from_tsv("junk\n").unwrap_err();
+        assert!(err.contains("unsupported matrix header"), "{err}");
+    }
+}
