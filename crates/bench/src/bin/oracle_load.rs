@@ -4,27 +4,32 @@
 //! [`oracle::Oracle`] with observability at `Metrics`, and drives the
 //! three query families at volume: random point lookups (the hot path,
 //! rate-gated), k-nearest-relay queries, and ShorTor-style via-relay
-//! detour searches. Results go to `BENCH_oracle.json` (override with
-//! `TING_BENCH_OUT`) in the same shape `ting-prof diff` gates for the
-//! scan baseline — the phase histograms record *answered RTTs* (ms
-//! recorded on the µs scale), which are a pure function of the seed and
-//! config, so the gate catches silent changes to what the oracle serves
-//! while wall-clock throughput stays informational.
+//! detour searches — then streams the same dataset through a live
+//! [`oracle::Pipeline`] as incremental publishes. Results go to
+//! `BENCH_oracle.json` (override with `TING_BENCH_OUT`) in the same
+//! shape `ting-prof diff` gates for the scan baseline — the phase
+//! histograms record *answered RTTs* (ms recorded on the µs scale) and,
+//! for the publish phase, pairs folded per generation; both are a pure
+//! function of the seed and config, so the gate catches silent changes
+//! to what the oracle serves or how the pipeline batches, while
+//! wall-clock throughput stays informational.
 //!
 //! Environment overrides: `TING_SEED` (default 2015), `TING_RELAYS`
 //! (default 300), `TING_ORACLE_POINTS` (default 2_000_000),
 //! `TING_ORACLE_NEAREST` (default 10_000), `TING_ORACLE_K` (default
-//! 16), `TING_ORACLE_DETOURS` (default 20_000), `TING_REPS` (default
-//! 3; wall time is the minimum over reps), and `TING_ORACLE_MIN_RATE`
-//! (default 1_000_000 point lookups/s on one core; the run exits
-//! non-zero below the floor, 0 disables).
+//! 16), `TING_ORACLE_DETOURS` (default 20_000), `TING_ORACLE_PUBLISHES`
+//! (default 32), `TING_REPS` (default 3; wall time is the minimum over
+//! reps), and `TING_ORACLE_MIN_RATE` (default 1_000_000 point
+//! lookups/s on one core; the run exits non-zero below the floor, 0
+//! disables).
 
 use bench::{env_u64, env_usize, hist_quantiles_json, seed};
-use netsim::NodeId;
-use oracle::{Oracle, Snapshot};
+use netsim::{NodeId, SimDuration, SimTime};
+use oracle::{Oracle, Pipeline, PipelineConfig, Snapshot, TtlPolicy};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::fmt::Write as _;
 use ting::obs::{config_hash, names, Obs, ObsConfig};
+use ting::shard::MergeDelta;
 use ting::RttMatrix;
 
 struct Config {
@@ -34,12 +39,14 @@ struct Config {
     nearest: usize,
     k: usize,
     detours: usize,
+    publishes: usize,
 }
 
 struct RunResult {
     point_wall_s: f64,
     nearest_wall_s: f64,
     detour_wall_s: f64,
+    publish_wall_s: f64,
     obs: Obs,
     checksum: f64,
 }
@@ -72,12 +79,43 @@ fn query_pairs(rng: &mut SmallRng, n: u32, count: usize) -> Vec<(NodeId, NodeId)
         .collect()
 }
 
+/// Chops the matrix's pairs into `publishes` incremental deltas — a
+/// deterministic stand-in for a supervisor's live merge stream.
+fn publish_batches(matrix: &RttMatrix, publishes: usize) -> Vec<MergeDelta> {
+    let pairs: Vec<_> = matrix.pairs().collect();
+    let chunk = pairs.len().div_ceil(publishes.max(1)).max(1);
+    pairs
+        .chunks(chunk)
+        .enumerate()
+        .map(|(i, slice)| {
+            let now = SimTime((i as u64 + 1) * 1_000_000);
+            MergeDelta {
+                seq: i as u64 + 1,
+                pairs: slice.iter().map(|&(a, b, rtt)| (a, b, rtt, now)).collect(),
+                statuses: vec!["live"],
+                now,
+            }
+        })
+        .collect()
+}
+
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        queue_cap: 4,
+        publish_interval: SimDuration(0),
+        staleness: SimDuration::from_hours(24),
+        ttl: TtlPolicy::new(SimDuration::from_hours(1), SimDuration::from_hours(48))
+            .expect("static TTL config"),
+    }
+}
+
 fn run_once(
     matrix: &RttMatrix,
     cfg: &Config,
     points: &[(NodeId, NodeId)],
     sources: &[NodeId],
     detours: &[(NodeId, NodeId)],
+    batches: &[MergeDelta],
 ) -> RunResult {
     let obs = Obs::new(ObsConfig::Metrics);
     let oracle = Oracle::with_obs(Snapshot::from_matrix(matrix), obs.clone());
@@ -107,10 +145,34 @@ fn run_once(
     }
     let detour_wall_s = started.elapsed().as_secs_f64();
 
+    // Publish phase: stream the dataset through a live pipeline, one
+    // generation per delta. The `oracle.pipeline.batch_pairs`
+    // histogram (pairs folded per publish) is a pure function of seed
+    // and config, so the diff gate pins it; wall time stays
+    // informational like every other throughput number here.
+    let mut pipeline = Pipeline::with_obs(
+        matrix.nodes().to_vec(),
+        1,
+        pipeline_config(),
+        obs.clone(),
+        None,
+    );
+    let started = std::time::Instant::now();
+    for d in batches {
+        let now = d.now;
+        pipeline.offer(d.clone());
+        pipeline
+            .tick(now)
+            .expect("volatile pipeline publish cannot fail");
+    }
+    let publish_wall_s = started.elapsed().as_secs_f64();
+    checksum += pipeline.generation() as f64;
+
     RunResult {
         point_wall_s,
         nearest_wall_s,
         detour_wall_s,
+        publish_wall_s,
         obs,
         checksum,
     }
@@ -124,6 +186,7 @@ fn main() {
         nearest: env_usize("TING_ORACLE_NEAREST", 10_000),
         k: env_usize("TING_ORACLE_K", 16),
         detours: env_usize("TING_ORACLE_DETOURS", 20_000),
+        publishes: env_usize("TING_ORACLE_PUBLISHES", 32),
     };
     let reps = env_usize("TING_REPS", 3).max(1);
     let min_rate = env_u64("TING_ORACLE_MIN_RATE", 1_000_000);
@@ -140,13 +203,15 @@ fn main() {
         .map(|_| NodeId(rng.gen_range(0..n)))
         .collect();
     let detours = query_pairs(&mut rng, n, cfg.detours);
+    let batches = publish_batches(&matrix, cfg.publishes);
 
     let mut best: Option<RunResult> = None;
     for rep in 0..reps {
-        let r = run_once(&matrix, &cfg, &points, &sources, &detours);
+        let r = run_once(&matrix, &cfg, &points, &sources, &detours, &batches);
         println!(
-            "# rep {rep}: point_wall_s={:.3} nearest_wall_s={:.3} detour_wall_s={:.3} checksum={:.3}",
-            r.point_wall_s, r.nearest_wall_s, r.detour_wall_s, r.checksum
+            "# rep {rep}: point_wall_s={:.3} nearest_wall_s={:.3} detour_wall_s={:.3} \
+             publish_wall_s={:.3} checksum={:.3}",
+            r.point_wall_s, r.nearest_wall_s, r.detour_wall_s, r.publish_wall_s, r.checksum
         );
         if best
             .as_ref()
@@ -156,7 +221,7 @@ fn main() {
         }
     }
     let best = best.expect("at least one rep");
-    let wall_s = best.point_wall_s + best.nearest_wall_s + best.detour_wall_s;
+    let wall_s = best.point_wall_s + best.nearest_wall_s + best.detour_wall_s + best.publish_wall_s;
     let rate = cfg.points as f64 / best.point_wall_s.max(f64::MIN_POSITIVE);
 
     let queries = cfg.points + cfg.nearest + cfg.detours;
@@ -165,13 +230,13 @@ fn main() {
     let measured = queries - failed.min(queries);
 
     let config = format!(
-        "oracle relays={} points={} nearest={} k={} detours={}",
-        cfg.relays, cfg.points, cfg.nearest, cfg.k, cfg.detours
+        "oracle relays={} points={} nearest={} k={} detours={} publishes={}",
+        cfg.relays, cfg.points, cfg.nearest, cfg.k, cfg.detours, cfg.publishes
     );
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\"schema\":\"ting-bench-oracle-v1\",\"seed\":{},\"config_hash\":\"{:016x}\",\
+        "{{\"schema\":\"ting-bench-oracle-v2\",\"seed\":{},\"config_hash\":\"{:016x}\",\
          \"relays\":{},\"samples\":{},\"reps\":{reps},\
          \"pairs\":{queries},\"measured\":{measured},\"failed\":{failed},\
          \"wall_s\":{wall_s:.6},\"virtual_s\":0.000,\"pairs_per_wall_s\":{rate:.3}",
@@ -185,6 +250,7 @@ fn main() {
         ("point", names::ORACLE_ANSWER_POINT_US),
         ("nearest", names::ORACLE_ANSWER_NEAREST_US),
         ("detour", names::ORACLE_ANSWER_DETOUR_US),
+        ("publish", "oracle.pipeline.batch_pairs"),
     ]
     .iter()
     .enumerate()
@@ -202,8 +268,10 @@ fn main() {
         "# oracle_load: relays={} points={} seed={}",
         cfg.relays, cfg.points, cfg.seed
     );
+    let publish_rate = cfg.publishes as f64 / best.publish_wall_s.max(f64::MIN_POSITIVE);
     println!(
-        "point_lookups_per_s={rate:.1} nearest_wall_s={:.3} detour_wall_s={:.3}",
+        "point_lookups_per_s={rate:.1} nearest_wall_s={:.3} detour_wall_s={:.3} \
+         publishes_per_s={publish_rate:.1}",
         best.nearest_wall_s, best.detour_wall_s
     );
     println!("wrote {out_path}");

@@ -1,0 +1,384 @@
+//! Pipeline soak: a fault storm against the live scan→serve pipeline.
+//!
+//! Drives a sharded supervised scan through the same hostile network as
+//! `shard_storm` — link faults, relay overload, churn, a mid-storm
+//! shard crash — and streams its merge deltas into journaled
+//! [`oracle::Pipeline`]s in three phases:
+//!
+//! * **continuous serving** — every published generation must match
+//!   what an offline `Supervisor::merge` at the same instant produces,
+//!   the generation counter must track the oracle version in lockstep,
+//!   and the final document must be bit-identical to the offline merge;
+//! * **kill/resume** — the serving process is killed mid-storm with a
+//!   torn journal tail (a mid-append kill at a seeded byte offset);
+//!   recovery must report the torn tail, resume from the last sealed
+//!   generation, and converge bit-identically to the uninterrupted run;
+//! * **seal/swap window** — the kill lands *between* journal seal and
+//!   publish swap (a fully sealed record, no published update);
+//!   recovery must serve the pending generation and converge the same.
+//!
+//! Any violation exits non-zero.
+//!
+//! Usage: `pipeline_storm [--seed N] [--virtual-hours H]`
+//! (env fallbacks: `TING_SEED`, `TING_HOURS`).
+
+use bench::env_u64;
+use netsim::{FaultPlan, NodeId, SimDuration, SimTime};
+use oracle::journal::frame_record;
+use oracle::{Journal, Pipeline, PipelineConfig, TtlPolicy};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use ting::shard::{MergeDelta, Supervisor, SupervisorConfig};
+use ting::{AdaptiveTimeoutConfig, HealthConfig, ScannerConfig, TingConfig, ValidationConfig};
+use tor_sim::churn::ChurnConfig;
+use tor_sim::{RelayFaultProfile, TorNetwork, TorNetworkBuilder};
+
+const ROUND_SECS: u64 = 300;
+const N_NODES: usize = 10;
+const SHARDS: usize = 4;
+
+fn storm_net(seed: u64) -> TorNetwork {
+    TorNetworkBuilder::live(seed, 12)
+        .vantages(2)
+        .fault_plan(
+            FaultPlan::new(seed ^ 0x7)
+                .with_link_loss(0.003)
+                .with_stalls(0.001, 300.0),
+        )
+        .relay_faults(RelayFaultProfile {
+            extend_refuse_prob: 0.01,
+            overload_drop_prob: 0.002,
+            overload_queue_depth: 32,
+            seed: seed ^ 0x9,
+        })
+        .build()
+}
+
+fn scan_config() -> ScannerConfig {
+    ScannerConfig {
+        staleness: SimDuration::from_hours(24),
+        pairs_per_round: 8,
+        retry_backoff: SimDuration::from_secs(60),
+        retry_backoff_cap: SimDuration::from_hours(1),
+        health: Some(HealthConfig::default()),
+        validation: Some(ValidationConfig::default()),
+    }
+}
+
+fn supervisor_config() -> SupervisorConfig {
+    SupervisorConfig {
+        shards: SHARDS,
+        scanner: scan_config(),
+        heartbeat_timeout: SimDuration::from_hours(2),
+        restart_budget: 3,
+        restart_backoff: SimDuration::from_nanos(0),
+        restart_backoff_cap: SimDuration::from_nanos(0),
+    }
+}
+
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        queue_cap: 4,
+        publish_interval: SimDuration(0),
+        staleness: scan_config().staleness,
+        ttl: TtlPolicy::new(SimDuration::from_hours(1), SimDuration::from_hours(48))
+            .expect("static TTL config"),
+    }
+}
+
+/// One supervised storm, drained round by round. Returns the node set,
+/// the full delta stream, and the offline merge document at the end —
+/// the ground truth every pipeline run must converge to.
+fn storm_stream(seed: u64, rounds: u64) -> (Vec<NodeId>, Vec<MergeDelta>, String) {
+    let mut net = storm_net(seed);
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(N_NODES).collect();
+    let mut sup = Supervisor::new(nodes.clone(), supervisor_config(), ting_config());
+    sup.load_locations(&net);
+    let churn = ChurnConfig {
+        initial_relays: 12,
+        daily_departure_rate: 1.2,
+        ..ChurnConfig::default()
+    };
+    let victim = (seed % SHARDS as u64) as usize;
+    let mut deltas = Vec::new();
+    for round in 0..rounds {
+        let target = SimTime::ZERO + SimDuration::from_secs(round * ROUND_SECS);
+        if target > net.sim.now() {
+            net.sim.advance_to(target);
+        }
+        if round % 6 == 2 {
+            net.churn_step(&churn, 1.0, seed ^ round);
+            net.refresh_consensus();
+        }
+        if round % 9 == 8 {
+            for &n in &net.relays.clone() {
+                net.revive_relay(n);
+            }
+            net.refresh_consensus();
+        }
+        sup.run_round(&mut net);
+        // A mid-storm shard crash puts "restarting" statuses and a
+        // checkpoint re-emission into the delta stream.
+        if round == rounds / 3 {
+            sup.inject_crash(victim, net.sim.now());
+        }
+        deltas.push(sup.take_delta(net.sim.now()));
+    }
+    let merged = sup
+        .merge(net.sim.now())
+        .expect("storm merge must succeed")
+        .to_document();
+    (nodes, deltas, merged)
+}
+
+fn ting_config() -> TingConfig {
+    TingConfig {
+        max_attempts: 2,
+        max_lost_probes: 4,
+        adaptive_timeouts: Some(AdaptiveTimeoutConfig::default()),
+        ..TingConfig::fast()
+    }
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ting-pipe-storm-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create pipeline journal dir");
+    dir
+}
+
+/// Feeds `deltas` into `p`, checking lockstep invariants each round.
+/// Returns the per-round serving documents (index = rounds consumed).
+fn drive(p: &mut Pipeline, deltas: &[MergeDelta], violations: &mut Vec<String>) -> Vec<String> {
+    let mut docs = Vec::new();
+    for d in deltas {
+        let now = d.now;
+        let seq = d.seq;
+        p.offer(d.clone());
+        match p.tick(now) {
+            Ok(Some(generation)) => {
+                if generation != p.generation() {
+                    violations.push(format!(
+                        "round {seq}: tick returned generation {generation}, pipeline at {}",
+                        p.generation()
+                    ));
+                }
+                let version = p.reader().snapshot().meta().version;
+                if version != generation {
+                    violations.push(format!(
+                        "round {seq}: oracle version {version} != generation {generation}"
+                    ));
+                }
+            }
+            Ok(None) => violations.push(format!(
+                "round {seq}: zero-interval tick with queued data published nothing"
+            )),
+            Err(e) => violations.push(format!("round {seq}: publish failed: {e}")),
+        }
+        if p.queue_depth() != 0 {
+            violations.push(format!("round {seq}: queue not drained after publish"));
+        }
+        docs.push(p.serving_document());
+    }
+    docs
+}
+
+fn recover_and_finish(
+    nodes: &[NodeId],
+    dir: &Path,
+    resume_at: SimTime,
+    deltas: &[MergeDelta],
+    violations: &mut Vec<String>,
+    label: &str,
+) -> Option<Pipeline> {
+    let journal = match Journal::open(dir) {
+        Ok(j) => j,
+        Err(e) => {
+            violations.push(format!("{label}: journal reopen failed: {e}"));
+            return None;
+        }
+    };
+    match Pipeline::recover(
+        nodes.to_vec(),
+        SHARDS,
+        pipeline_config(),
+        ting::obs::Obs::off(),
+        journal,
+        resume_at,
+    ) {
+        Ok((mut p, _)) => {
+            // Generation g corresponds to the delta-stream prefix of
+            // length g − 1: resume from the first unconsumed delta.
+            let consumed = (p.generation() - 1) as usize;
+            drive(&mut p, &deltas[consumed..], violations);
+            Some(p)
+        }
+        Err(e) => {
+            violations.push(format!("{label}: recovery failed: {e}"));
+            None
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = arg_u64(&args, "--seed", "TING_SEED", 2015);
+    let hours = arg_u64(&args, "--virtual-hours", "TING_HOURS", 4);
+    let rounds = (hours * 3600 / ROUND_SECS).max(4);
+    let kill_round = (rounds / 2) as usize;
+    println!(
+        "# pipeline storm: seed={seed} virtual_hours={hours} rounds={rounds} \
+         shards={SHARDS} (kill serving process after round {kill_round})"
+    );
+
+    let mut violations = Vec::new();
+    let (nodes, deltas, offline_merge) = storm_stream(seed, rounds);
+
+    // Phase 1: continuous serving, uninterrupted. The baseline run and
+    // ground truth for both kill phases.
+    let base_dir = tempdir("base");
+    let mut baseline = Pipeline::with_obs(
+        nodes.clone(),
+        SHARDS,
+        pipeline_config(),
+        ting::obs::Obs::off(),
+        Some(Journal::open(&base_dir).expect("open baseline journal")),
+    );
+    let docs = drive(&mut baseline, &deltas, &mut violations);
+    let final_doc = baseline.serving_document();
+    if final_doc != offline_merge {
+        violations.push("pipeline final document diverged from offline merge".into());
+    }
+    println!(
+        "# phase 1: generations={} final_state={} (vs offline merge {})",
+        baseline.generation(),
+        baseline.state().tag(),
+        if final_doc == offline_merge {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    // Phase 2: kill mid-append. Replay the stream up to the kill
+    // round, then tear the journal exactly as a mid-append kill would —
+    // a prefix of the next generation's frame, cut at a seeded offset.
+    let dir = tempdir("torn");
+    let mut p = Pipeline::with_obs(
+        nodes.clone(),
+        SHARDS,
+        pipeline_config(),
+        ting::obs::Obs::off(),
+        Some(Journal::open(&dir).expect("open torn-phase journal")),
+    );
+    drive(&mut p, &deltas[..kill_round], &mut violations);
+    let resume_at = deltas[kill_round - 1].now;
+    let next_gen = p.generation() + 1;
+    drop(p);
+    let frame = frame_record(next_gen, &docs[kill_round]);
+    let cut = 1 + (seed as usize % (frame.len() - 1));
+    {
+        let journal = Journal::open(&dir).expect("reopen for tear");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(journal.journal_path())
+            .expect("journal file exists after publishes");
+        f.write_all(&frame.as_bytes()[..cut])
+            .expect("write torn tail");
+    }
+    let torn_seen = Journal::open(&dir)
+        .expect("reopen torn journal")
+        .recover()
+        .map(|r| r.torn_tail)
+        .unwrap_or(false);
+    if !torn_seen {
+        violations.push(format!(
+            "torn tail ({cut} of {} bytes) not reported by recovery",
+            frame.len()
+        ));
+    }
+    if let Some(p) = recover_and_finish(
+        &nodes,
+        &dir,
+        resume_at,
+        &deltas,
+        &mut violations,
+        "torn-tail phase",
+    ) {
+        if p.serving_document() != final_doc {
+            violations.push("torn-tail kill/resume diverged from uninterrupted run".into());
+        }
+        println!(
+            "# phase 2: torn tail at byte {cut}/{} -> resumed to generation {} ({})",
+            frame.len(),
+            p.generation(),
+            if p.serving_document() == final_doc {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 3: kill between seal and swap. The next generation's frame
+    // is fully sealed in the journal but the published file never
+    // advanced; recovery must serve the pending generation.
+    let dir = tempdir("sealed");
+    let mut p = Pipeline::with_obs(
+        nodes.clone(),
+        SHARDS,
+        pipeline_config(),
+        ting::obs::Obs::off(),
+        Some(Journal::open(&dir).expect("open sealed-phase journal")),
+    );
+    drive(&mut p, &deltas[..kill_round], &mut violations);
+    let next_gen = p.generation() + 1;
+    drop(p);
+    Journal::open(&dir)
+        .expect("reopen for seal")
+        .append(next_gen, &docs[kill_round])
+        .expect("stage sealed record");
+    if let Some(p) = recover_and_finish(
+        &nodes,
+        &dir,
+        deltas[kill_round].now,
+        &deltas,
+        &mut violations,
+        "sealed-window phase",
+    ) {
+        if p.serving_document() != final_doc {
+            violations.push("seal/swap-window kill/resume diverged from uninterrupted run".into());
+        }
+        println!(
+            "# phase 3: pending generation {next_gen} applied -> generation {} ({})",
+            p.generation(),
+            if p.serving_document() == final_doc {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&base_dir);
+
+    if violations.is_empty() {
+        println!("pipeline storm PASSED: continuous serving exact, kill/resume bit-identical");
+    } else {
+        println!("pipeline storm FAILED:");
+        for v in &violations {
+            println!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Reads `--name value` from the CLI, falling back to `env_name`.
+fn arg_u64(args: &[String], name: &str, env_name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| env_u64(env_name, default))
+}

@@ -89,8 +89,9 @@ pub use report::{CampaignReport, QualityFlag};
 pub use sampling::SamplePolicy;
 pub use scanner::{Scanner, ScannerConfig};
 pub use shard::{
-    merge_checkpoints, parse_merged_document, partition_pairs, MergeOutcome, MergedDocument,
-    ShardCoverage, ShardStatus, Supervisor, SupervisorConfig, SupervisorReport, MERGED_MAGIC,
+    merge_checkpoints, parse_merged_document, partition_pairs, MergeDelta, MergeOutcome,
+    MergedDocument, ShardCoverage, ShardStatus, Supervisor, SupervisorConfig, SupervisorReport,
+    MERGED_MAGIC,
 };
 pub use timeout::{AdaptiveTimeoutConfig, TimeoutEstimators, TimeoutPhase};
 pub use validate::{ValidationConfig, ValidationError, Verdict};

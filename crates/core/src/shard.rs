@@ -138,6 +138,14 @@ struct ShardSlot {
     /// Chaos hook: the shard is wedged (alive but doing nothing) until
     /// this instant; only the supervisor's heartbeat can free it.
     wedged_until: Option<SimTime>,
+    /// Incremental-publish watermark: measurements at or after this
+    /// instant have not yet been drained by [`Supervisor::take_delta`].
+    /// `None` means nothing was ever drained (everything is new).
+    delta_mark: Option<SimTime>,
+    /// Whether the slot's last-known-good checkpoint was already
+    /// emitted as a delta while the shard is down — a downed shard's
+    /// checkpoint is frozen, so one emission per outage suffices.
+    down_emitted: bool,
 }
 
 /// Aggregate outcome of one supervised round across all shards.
@@ -240,6 +248,33 @@ impl MergeOutcome {
 
 /// The first line of the [`MergeOutcome::to_document`] format.
 pub const MERGED_MAGIC: &str = "# ting merged matrix v1";
+
+/// One incremental publish unit drained from a running [`Supervisor`]
+/// by [`Supervisor::take_delta`]: every owned pair measured (or
+/// re-measured) since the previous drain, plus the current per-shard
+/// statuses. Applying a delta is idempotent assignment — re-applying a
+/// pair sets the same value — so consumers may see a boundary pair
+/// twice across drains (the watermark is inclusive) without harm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeDelta {
+    /// Strictly increasing per supervisor, starting at 1.
+    pub seq: u64,
+    /// `(a, b, rtt_ms, measured_at)` in shard, then partition order —
+    /// deterministic for a given supervisor state.
+    pub pairs: Vec<(NodeId, NodeId, f64, SimTime)>,
+    /// Status tag per shard ([`ShardStatus::tag`]), indexed by shard id.
+    pub statuses: Vec<&'static str>,
+    /// The instant the delta was drained.
+    pub now: SimTime,
+}
+
+impl MergeDelta {
+    /// True when the delta carries neither new pairs nor any live
+    /// shard — nothing a publisher would act on beyond status rows.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
 
 /// A merged-matrix document parsed back into data — the read-side
 /// inverse of [`MergeOutcome::to_document`], and the load path the
@@ -463,6 +498,8 @@ pub struct Supervisor {
     obs: Obs,
     nodes: Vec<NodeId>,
     slots: Vec<ShardSlot>,
+    /// Sequence number of the last [`Supervisor::take_delta`] drain.
+    delta_seq: u64,
     /// When set, each shard persists `shard-<id>.ckpt` here after every
     /// round and restarts recover through [`Scanner::recover_observed`]
     /// (primary, then `.bak`, then the in-memory copy, then fresh).
@@ -507,6 +544,8 @@ impl Supervisor {
                     last_progress: SimTime::ZERO,
                     started: false,
                     wedged_until: None,
+                    delta_mark: None,
+                    down_emitted: false,
                 }
             })
             .collect();
@@ -516,6 +555,7 @@ impl Supervisor {
             obs,
             nodes,
             slots,
+            delta_seq: 0,
             checkpoint_dir: None,
         }
     }
@@ -585,6 +625,16 @@ impl Supervisor {
     /// deadline can detect.
     pub fn inject_hang(&mut self, k: usize, until: SimTime) {
         self.slots[k].wedged_until = Some(until);
+    }
+
+    /// Chaos hook: drops shard `k`'s live scanner and driver *without*
+    /// flipping its status — the half-applied-crash state (a panic
+    /// unwound between the state drop and the status write). The next
+    /// round must route the slot through the ordinary crash path
+    /// instead of panicking the supervisor.
+    pub fn inject_scanner_loss(&mut self, k: usize) {
+        self.slots[k].scanner = None;
+        self.slots[k].ting = None;
     }
 
     /// Chaos hook: corrupts shard `k`'s stored checkpoint (in-memory
@@ -659,32 +709,53 @@ impl Supervisor {
                 continue;
             }
             self.slots[k].wedged_until = None;
-            let r = self.run_shard_round(k, net);
-            report.measured += r.measured;
-            report.failed += r.failed;
-            report.still_pending += r.still_pending;
-            report.shards_run += 1;
-            if self.slots[k].scanner.is_none() {
-                // The post-round checkpoint write failed; the shard
-                // crashed and is counted as run *and* now waiting.
-                report.shards_waiting += 1;
+            match self.run_shard_round(k, net) {
+                Some(r) => {
+                    report.measured += r.measured;
+                    report.failed += r.failed;
+                    report.still_pending += r.still_pending;
+                    report.shards_run += 1;
+                    if self.slots[k].scanner.is_none() {
+                        // The post-round checkpoint write failed; the
+                        // shard crashed and is counted as run *and* now
+                        // waiting.
+                        report.shards_waiting += 1;
+                    }
+                }
+                // A slot whose live state was lost without the status
+                // flipping: it crashed instead of running.
+                None => report.shards_waiting += 1,
             }
         }
         report
     }
 
     /// One shard's scan round plus checkpointing, wrapped in a
-    /// `shard.round` span.
-    fn run_shard_round(&mut self, k: usize, net: &mut TorNetwork) -> RoundReport {
+    /// `shard.round` span. Returns `None` when the slot had no live
+    /// scanner or driver — a degraded slot that reached the run path
+    /// (a half-applied crash) is sent through the ordinary crash path
+    /// rather than panicking the supervisor.
+    fn run_shard_round(&mut self, k: usize, net: &mut TorNetwork) -> Option<RoundReport> {
+        if self.slots[k].scanner.is_none() || self.slots[k].ting.is_none() {
+            self.crash(k, net.sim.now(), "lost-state");
+            return None;
+        }
         let span = self.obs.span_begin(
             names::SHARD_ROUND_BEGIN,
             net.sim.now().as_nanos(),
             vec![("shard", Value::U64(k as u64))],
         );
         let slot = &mut self.slots[k];
-        let scanner = slot.scanner.as_mut().expect("running shard has a scanner");
-        let ting = slot.ting.as_ref().expect("running shard has a driver");
-        let r = scanner.run_round_parallel(net, ting);
+        let r = match (slot.scanner.as_mut(), slot.ting.as_ref()) {
+            (Some(scanner), Some(ting)) => scanner.run_round_parallel(net, ting),
+            // Unreachable (guarded above), but a missed round is a
+            // better failure mode than a poisoned supervisor.
+            _ => RoundReport {
+                measured: 0,
+                failed: 0,
+                still_pending: 0,
+            },
+        };
         let now = net.sim.now();
         if self.obs.is_tracing() {
             self.obs.span_end(
@@ -703,18 +774,26 @@ impl Supervisor {
         if r.measured + r.failed > 0 || r.still_pending == 0 {
             slot.last_progress = now;
         }
-        slot.checkpoint = scanner.to_checkpoint();
-        slot.timeouts = ting.timeouts.export();
+        if let Some(scanner) = slot.scanner.as_ref() {
+            slot.checkpoint = scanner.to_checkpoint();
+        }
+        if let Some(ting) = slot.ting.as_ref() {
+            slot.timeouts = ting.timeouts.export();
+        }
         if let Some(dir) = self.checkpoint_dir.clone() {
-            let scanner = self.slots[k].scanner.as_ref().unwrap();
-            if scanner.save(shard_path(&dir, self.slots[k].id)).is_err() {
-                // Treat a failing checkpoint disk like a crashed shard:
-                // scanning on without durable state would silently void
-                // the crash-safety contract.
+            let saved = match self.slots[k].scanner.as_ref() {
+                Some(scanner) => scanner.save(shard_path(&dir, self.slots[k].id)).is_ok(),
+                None => false,
+            };
+            if !saved {
+                // Treat a failing checkpoint disk (or a vanished
+                // scanner) like a crashed shard: scanning on without
+                // durable state would silently void the crash-safety
+                // contract.
                 self.crash(k, now, "io");
             }
         }
-        r
+        Some(r)
     }
 
     /// Kills shard `k`: live state is dropped and a restart is
@@ -725,6 +804,9 @@ impl Supervisor {
         slot.scanner = None;
         slot.ting = None;
         slot.wedged_until = None;
+        // A fresh outage: its last-known-good checkpoint is new to the
+        // delta stream again.
+        slot.down_emitted = false;
         slot.restarts += 1;
         self.obs.inc("ting.shard.crashed");
         if self.obs.is_tracing() {
@@ -834,6 +916,64 @@ impl Supervisor {
             })
             .collect();
         merge_checkpoints(&entries, now)
+    }
+
+    /// Drains the incremental merge delta: every owned pair measured at
+    /// or after the slot's watermark since the previous drain. Live
+    /// shards advance their watermark to `now`; a downed shard emits
+    /// its frozen last-known-good checkpoint once per outage and keeps
+    /// its watermark, so a later restore re-emits anything the outage
+    /// hid. The inclusive `>=` filter may re-emit a boundary
+    /// measurement — application is assignment, so duplicates are
+    /// idempotent and nothing is ever lost.
+    pub fn take_delta(&mut self, now: SimTime) -> MergeDelta {
+        self.delta_seq += 1;
+        let mut pairs = Vec::new();
+        let mut statuses = Vec::with_capacity(self.slots.len());
+        for slot in &mut self.slots {
+            statuses.push(slot.status.tag());
+            match &slot.scanner {
+                Some(s) => {
+                    emit_since(s, &slot.owned, slot.delta_mark, &mut pairs);
+                    slot.delta_mark = Some(now);
+                }
+                None => {
+                    if slot.down_emitted {
+                        continue;
+                    }
+                    slot.down_emitted = true;
+                    // A refused checkpoint contributes nothing here;
+                    // restore() handles (and traces) the corruption.
+                    if let Ok(s) = Scanner::from_checkpoint(&slot.checkpoint) {
+                        emit_since(&s, &slot.owned, slot.delta_mark, &mut pairs);
+                    }
+                }
+            }
+        }
+        MergeDelta {
+            seq: self.delta_seq,
+            pairs,
+            statuses,
+            now,
+        }
+    }
+}
+
+/// Pushes every owned pair with a measurement at or after `mark` (all
+/// of them when `mark` is `None`) onto `out`, in partition order.
+fn emit_since(
+    s: &Scanner,
+    owned: &[(NodeId, NodeId)],
+    mark: Option<SimTime>,
+    out: &mut Vec<(NodeId, NodeId, f64, SimTime)>,
+) {
+    for &(a, b) in owned {
+        let (Some(rtt), Some(t)) = (s.matrix().get(a, b), s.measured_at(a, b)) else {
+            continue;
+        };
+        if mark.is_none_or(|m| t >= m) {
+            out.push((a, b, rtt, t));
+        }
     }
 }
 

@@ -7,10 +7,12 @@
 
 use netsim::{NodeId, SimDuration, SimTime};
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use ting::obs::{Obs, ObsConfig};
-use ting::shard::{merge_checkpoints, partition_pairs, ShardStatus, Supervisor, SupervisorConfig};
-use ting::{Scanner, ScannerConfig, Ting, TingConfig};
+use ting::shard::{
+    merge_checkpoints, partition_pairs, MergeDelta, ShardStatus, Supervisor, SupervisorConfig,
+};
+use ting::{RttMatrix, Scanner, ScannerConfig, Ting, TingConfig};
 use tor_sim::TorNetworkBuilder;
 
 fn t(secs: u64) -> SimTime {
@@ -332,4 +334,114 @@ fn file_backed_shards_recover_from_bak_generation() {
     assert_eq!(merged.coverage(), 1.0);
 
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Losing a shard's live state without the status flipping — the
+/// half-applied crash the old code met with a panic — routes through
+/// the ordinary crash path: the round counts the shard as waiting, the
+/// crash is metered, and the restarted shard still finishes its pairs.
+#[test]
+fn scanner_loss_mid_supervision_crashes_the_shard_not_the_supervisor() {
+    let mut net = TorNetworkBuilder::testbed(41).vantages(2).build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+    let obs = Obs::new(ObsConfig::Metrics);
+    let mut sup =
+        Supervisor::with_obs(nodes, supervisor_config(3), TingConfig::fast(), obs.clone());
+    sup.load_locations(&net);
+    sup.run_round(&mut net);
+    sup.inject_scanner_loss(1);
+    assert_eq!(
+        sup.status(1),
+        ShardStatus::Running,
+        "the loss leaves the status untouched — that is the hazard"
+    );
+    let report = sup.run_round(&mut net); // must not panic
+    assert!(report.shards_waiting >= 1);
+    assert_eq!(obs.counter_value("ting.shard.crashed"), 1);
+    for _ in 0..3 {
+        sup.run_round(&mut net);
+    }
+    assert_eq!(sup.status(1), ShardStatus::Running);
+    let merged = sup.merge(net.sim.now()).unwrap();
+    assert_eq!(merged.coverage(), 1.0, "the shard must recover and finish");
+}
+
+/// Replaying the incremental delta stream reproduces exactly the full
+/// merge: same matrix, same per-pair freshness. The pipeline's
+/// apply-deltas path and the offline `merge()` path agree.
+#[test]
+fn delta_stream_replays_to_the_full_merge() {
+    let mut net = TorNetworkBuilder::testbed(41).vantages(2).build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+    let mut sup = Supervisor::new(nodes.clone(), supervisor_config(3), TingConfig::fast());
+    sup.load_locations(&net);
+
+    let mut matrix = RttMatrix::new(nodes);
+    let mut measured_at: HashMap<(NodeId, NodeId), SimTime> = HashMap::new();
+    let mut seqs = Vec::new();
+    for _ in 0..4 {
+        sup.run_round(&mut net);
+        let delta = sup.take_delta(net.sim.now());
+        seqs.push(delta.seq);
+        assert_eq!(delta.statuses, vec!["live"; 3]);
+        for (a, b, rtt, t) in delta.pairs {
+            matrix.set(a, b, rtt);
+            measured_at.insert((a, b), t);
+        }
+    }
+    assert_eq!(seqs, vec![1, 2, 3, 4], "drains are sequence-numbered");
+
+    // Draining again may re-emit watermark-boundary measurements
+    // (inclusive filter), but applying them must change nothing.
+    let matrix_before = matrix.to_tsv();
+    for (a, b, rtt, t) in sup.take_delta(net.sim.now()).pairs {
+        assert_eq!(measured_at.get(&(a, b)), Some(&t), "only boundary re-emits");
+        matrix.set(a, b, rtt);
+    }
+    assert_eq!(matrix.to_tsv(), matrix_before, "re-application is a no-op");
+
+    let merged = sup.merge(net.sim.now()).unwrap();
+    assert_eq!(matrix.to_tsv(), merged.matrix.to_tsv());
+    assert_eq!(measured_at, merged.measured_at);
+}
+
+/// A downed shard's frozen last-known-good checkpoint enters the delta
+/// stream once per outage — repeated drains while it stays down do not
+/// re-emit it, and its watermark stays put so a restore re-covers the
+/// gap.
+#[test]
+fn downed_shard_emits_its_checkpoint_once_per_outage() {
+    let mut net = TorNetworkBuilder::testbed(41).vantages(2).build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(6).collect();
+    let mut sup = Supervisor::new(nodes.clone(), supervisor_config(3), TingConfig::fast());
+    sup.load_locations(&net);
+    sup.run_round(&mut net);
+    sup.inject_crash(1, net.sim.now());
+
+    let owned = partition_pairs(&nodes, 3);
+    let has_shard1 = |d: &MergeDelta| {
+        d.pairs
+            .iter()
+            .any(|&(a, b, _, _)| owned[1].contains(&(a, b)))
+    };
+    let d1 = sup.take_delta(net.sim.now());
+    assert_eq!(d1.statuses[1], "restarting");
+    assert!(
+        has_shard1(&d1),
+        "the first drain after the crash carries the frozen checkpoint"
+    );
+    // Crash again without an intervening restore: still one outage as
+    // far as the stream is concerned — nothing new to say.
+    let d2 = sup.take_delta(net.sim.now());
+    assert!(!has_shard1(&d2), "the frozen checkpoint is not re-emitted");
+
+    // Restore (zero backoff) and finish: the shard's fresh
+    // measurements re-enter the stream.
+    let mut revived = false;
+    for _ in 0..4 {
+        sup.run_round(&mut net);
+        revived |= has_shard1(&sup.take_delta(net.sim.now()));
+    }
+    assert_eq!(sup.status(1), ShardStatus::Running);
+    assert!(revived, "a restored shard's new measurements are drained");
 }

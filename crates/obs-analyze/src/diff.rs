@@ -25,10 +25,16 @@ pub struct PhaseStats {
     pub max_us: u64,
 }
 
-/// Bench schemas the diff engine understands. Both share the same
+/// Bench schemas the diff engine understands. All share the same
 /// field shape; they differ in what the phase histograms mean
-/// (virtual-time phase latencies vs served-RTT distributions).
-pub const KNOWN_SCHEMAS: [&str; 2] = ["ting-bench-scan-v1", "ting-bench-oracle-v1"];
+/// (virtual-time phase latencies vs served-RTT distributions; the
+/// oracle v2 schema adds a `publish` phase recording pairs folded per
+/// pipeline generation).
+pub const KNOWN_SCHEMAS: [&str; 3] = [
+    "ting-bench-scan-v1",
+    "ting-bench-oracle-v1",
+    "ting-bench-oracle-v2",
+];
 
 /// A parsed bench baseline document (see [`KNOWN_SCHEMAS`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -320,7 +326,10 @@ mod tests {
         let doc = parse_bench(text).unwrap();
         assert_eq!(doc.schema, "ting-bench-oracle-v1");
         assert_eq!(doc.phases[0].0, "point");
-        assert!(parse_bench(&text.replace("oracle-v1", "oracle-v2")).is_err());
+        // The v2 schema (publish phase added) parses under the same
+        // shape; an unknown future schema still refuses.
+        assert!(parse_bench(&text.replace("oracle-v1", "oracle-v2")).is_ok());
+        assert!(parse_bench(&text.replace("oracle-v1", "oracle-v3")).is_err());
     }
 
     #[test]

@@ -91,6 +91,21 @@ pub const ORACLE_ANSWER_POINT_US: &str = "oracle.answer.point_us";
 pub const ORACLE_ANSWER_NEAREST_US: &str = "oracle.answer.nearest_us";
 pub const ORACLE_ANSWER_DETOUR_US: &str = "oracle.answer.detour_us";
 
+// ── Live-pipeline spans and events ──
+// The publish pair brackets one drain→journal→swap→truncate cycle;
+// delta/coalesce/recover are the queue's lifecycle; the staleness
+// transition fires whenever the TTL ladder moves. The counter,
+// histogram, and gauge names beside them
+// (`oracle.pipeline.{deltas,coalesced,published,batch_pairs,queue_depth,generation}`,
+// `oracle.stale.{served_stale,refused,state}`) never enter the event
+// log.
+pub const ORACLE_PIPELINE_PUBLISH_BEGIN: &str = "oracle.pipeline.publish.begin";
+pub const ORACLE_PIPELINE_PUBLISH_END: &str = "oracle.pipeline.publish.end";
+pub const ORACLE_PIPELINE_DELTA: &str = "oracle.pipeline.delta";
+pub const ORACLE_PIPELINE_COALESCE: &str = "oracle.pipeline.coalesce";
+pub const ORACLE_PIPELINE_RECOVER: &str = "oracle.pipeline.recover";
+pub const ORACLE_STALE_TRANSITION: &str = "oracle.stale.transition";
+
 /// Shorthand for registry rows.
 const fn point(name: &'static str) -> EventSpec {
     EventSpec {
@@ -151,6 +166,12 @@ pub const REGISTRY: &[EventSpec] = &[
     point(SHARD_CHECKPOINT_CORRUPT),
     point(SCAN_RECOVER_BAK),
     point(ORACLE_SNAPSHOT_SWAP),
+    begin(ORACLE_PIPELINE_PUBLISH_BEGIN, ORACLE_PIPELINE_PUBLISH_END),
+    end(ORACLE_PIPELINE_PUBLISH_END, ORACLE_PIPELINE_PUBLISH_BEGIN),
+    point(ORACLE_PIPELINE_DELTA),
+    point(ORACLE_PIPELINE_COALESCE),
+    point(ORACLE_PIPELINE_RECOVER),
+    point(ORACLE_STALE_TRANSITION),
 ];
 
 /// Looks a name up in the registry.

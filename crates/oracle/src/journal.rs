@@ -1,0 +1,321 @@
+//! The crash-consistent publish journal: append → seal → swap →
+//! truncate.
+//!
+//! Every generation the pipeline publishes passes through two files in
+//! the journal directory:
+//!
+//! * **`oracle.journal`** — an append-only staging log. A publish
+//!   first appends one framed record (`@gen` header, the merged
+//!   document's bytes, `@seal` trailer with a CRC-32 over the body)
+//!   and fsyncs; the completed `@seal` line is the commit point. A
+//!   kill mid-append leaves a torn tail that recovery discards.
+//! * **`oracle.published`** — the last served generation, an
+//!   outer-sealed wrapper around the same document, replaced with
+//!   [`ting::checkpoint::write_atomic`] (tmp + fsync + rename + dir
+//!   fsync). After the swap the journal is truncated; a kill between
+//!   swap and truncate leaves a record whose generation equals the
+//!   published one, which recovery recognizes as already applied.
+//!
+//! The invariant, for a kill at **any byte offset**: recovery always
+//! reproduces exactly the last *sealed* state — the pending journal
+//! record if one sealed after the published generation, otherwise the
+//! published file — bit-identical to what an uninterrupted run would
+//! have served. The chaos tests drive this by replaying every prefix
+//! of the on-disk bytes.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use ting::checkpoint;
+
+/// The append-only staging log's file name.
+pub const JOURNAL_FILE: &str = "oracle.journal";
+/// The last-published-generation file's name.
+pub const PUBLISHED_FILE: &str = "oracle.published";
+/// First line of the published file's (outer-sealed) body.
+pub const PUBLISHED_MAGIC: &str = "# ting oracle published v1";
+
+/// What recovery found on disk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Recovered {
+    /// The last atomically published generation, if any.
+    pub published: Option<(u64, String)>,
+    /// A journal record sealed *after* the published generation — a
+    /// kill landed between seal and swap; the caller must apply it.
+    pub pending: Option<(u64, String)>,
+    /// Whether the journal carried a torn (unsealed) tail that was
+    /// discarded.
+    pub torn_tail: bool,
+}
+
+impl Recovered {
+    /// The generation recovery says must be served: the pending record
+    /// when one exists, else the published one.
+    pub fn serve(&self) -> Option<&(u64, String)> {
+        self.pending.as_ref().or(self.published.as_ref())
+    }
+}
+
+/// Handle on a journal directory. All methods are synchronous and
+/// crash-ordered: when one returns, its effect survives a kill.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    dir: PathBuf,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Journal> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Journal { dir })
+    }
+
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+
+    pub fn published_path(&self) -> PathBuf {
+        self.dir.join(PUBLISHED_FILE)
+    }
+
+    /// Stages generation `gen` (a merged-matrix document) into the
+    /// append-only log. Durable on return; the record is committed by
+    /// its `@seal` line. This is step one of a publish — the caller
+    /// swaps the oracle next, then calls [`Journal::mark_published`].
+    pub fn append(&self, gen: u64, doc: &str) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.journal_path())?;
+        f.write_all(frame_record(gen, doc).as_bytes())?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Completes a publish: atomically replaces the published file
+    /// with generation `gen`, then truncates the staging log. A kill
+    /// between the two leaves an already-applied record recovery
+    /// recognizes by its generation number.
+    pub fn mark_published(&self, gen: u64, doc: &str) -> std::io::Result<()> {
+        checkpoint::write_atomic(&self.published_path(), &render_published(gen, doc))?;
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.journal_path())?;
+        f.set_len(0)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Replays the directory after a kill. Corrupt *sealed* state (a
+    /// published file that fails its CRC) is an error — that is disk
+    /// rot, not a crash window, and must be loud. Torn tails and stale
+    /// `.tmp` siblings are expected crash debris and are ignored.
+    pub fn recover(&self) -> Result<Recovered, String> {
+        let published = match std::fs::read_to_string(self.published_path()) {
+            Ok(text) => Some(parse_published(&text)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("published file unreadable: {e}")),
+        };
+        let (records, torn_tail) = match std::fs::read(self.journal_path()) {
+            Ok(bytes) => scan_journal(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (Vec::new(), false),
+            Err(e) => return Err(format!("journal unreadable: {e}")),
+        };
+        let published_gen = published.as_ref().map_or(0, |&(g, _)| g);
+        let pending = records.into_iter().rfind(|&(g, _)| g > published_gen);
+        Ok(Recovered {
+            published,
+            pending,
+            torn_tail,
+        })
+    }
+}
+
+/// Frames one journal record: `@gen <g> <len>\n` + the document bytes +
+/// `@seal <g> <crc32-hex>\n`. Public so fault-injection tests can
+/// compute byte offsets inside a record without writing one.
+pub fn frame_record(gen: u64, doc: &str) -> String {
+    let mut out = format!("@gen {gen} {}\n", doc.len());
+    out.push_str(doc);
+    out.push_str(&format!(
+        "@seal {gen} {:08x}\n",
+        checkpoint::crc32(doc.as_bytes())
+    ));
+    out
+}
+
+/// Renders the published file's contents (outer seal included).
+pub fn render_published(gen: u64, doc: &str) -> String {
+    checkpoint::seal(format!("{PUBLISHED_MAGIC}\n# gen: {gen}\n{doc}"))
+}
+
+/// Parses the published file: outer CRC, magic, generation, document.
+fn parse_published(text: &str) -> Result<(u64, String), String> {
+    let body = checkpoint::verify_sealed(text).map_err(|e| format!("published file: {e}"))?;
+    let rest = body
+        .strip_prefix(PUBLISHED_MAGIC)
+        .and_then(|r| r.strip_prefix('\n'))
+        .ok_or_else(|| {
+            format!("published file: unsupported header (expected {PUBLISHED_MAGIC:?})")
+        })?;
+    let (gen_line, doc) = rest
+        .split_once('\n')
+        .ok_or("published file: missing generation line")?;
+    let gen: u64 = gen_line
+        .strip_prefix("# gen: ")
+        .ok_or_else(|| format!("published file: not a generation line: {gen_line:?}"))?
+        .parse()
+        .map_err(|e| format!("published file: invalid generation: {e}"))?;
+    Ok((gen, doc.to_owned()))
+}
+
+/// Walks the journal bytes record by record. Any framing violation —
+/// truncated header, short body, missing or mismatched `@seal` — ends
+/// the walk there: everything before it is sealed state, everything
+/// from it on is a torn tail.
+fn scan_journal(bytes: &[u8]) -> (Vec<(u64, String)>, bool) {
+    let mut records = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let Some((gen, len, body_start)) = parse_frame_header(bytes, pos) else {
+            return (records, true);
+        };
+        let body_end = body_start + len;
+        if body_end > bytes.len() {
+            return (records, true);
+        }
+        let Ok(body) = std::str::from_utf8(&bytes[body_start..body_end]) else {
+            return (records, true);
+        };
+        let Some(tail_end) = verify_frame_seal(bytes, body_end, gen, body) else {
+            return (records, true);
+        };
+        records.push((gen, body.to_owned()));
+        pos = tail_end;
+    }
+    (records, false)
+}
+
+/// Parses `@gen <g> <len>\n` at `pos`; returns `(gen, len, body
+/// start)`.
+fn parse_frame_header(bytes: &[u8], pos: usize) -> Option<(u64, usize, usize)> {
+    let nl = bytes[pos..].iter().position(|&b| b == b'\n')? + pos;
+    let line = std::str::from_utf8(&bytes[pos..nl]).ok()?;
+    let rest = line.strip_prefix("@gen ")?;
+    let (gen, len) = rest.split_once(' ')?;
+    Some((gen.parse().ok()?, len.parse().ok()?, nl + 1))
+}
+
+/// Verifies `@seal <gen> <crc>\n` at `pos` against `body`; returns the
+/// offset just past the trailer.
+fn verify_frame_seal(bytes: &[u8], pos: usize, gen: u64, body: &str) -> Option<usize> {
+    let nl = bytes[pos..].iter().position(|&b| b == b'\n')? + pos;
+    let line = std::str::from_utf8(&bytes[pos..nl]).ok()?;
+    let rest = line.strip_prefix("@seal ")?;
+    let (seal_gen, hex) = rest.split_once(' ')?;
+    if seal_gen.parse::<u64>().ok()? != gen {
+        return None;
+    }
+    if u32::from_str_radix(hex, 16).ok()? != checkpoint::crc32(body.as_bytes()) {
+        return None;
+    }
+    Some(nl + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ting-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn publish_cycle_recovers_to_published_generation() {
+        let dir = tempdir("cycle");
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.recover().unwrap(), Recovered::default());
+
+        j.append(1, "doc one\n").unwrap();
+        let r = j.recover().unwrap();
+        assert_eq!(r.pending, Some((1, "doc one\n".to_owned())));
+        assert_eq!(r.serve().unwrap().0, 1);
+        assert!(!r.torn_tail);
+
+        j.mark_published(1, "doc one\n").unwrap();
+        let r = j.recover().unwrap();
+        assert_eq!(r.published, Some((1, "doc one\n".to_owned())));
+        assert_eq!(r.pending, None, "an applied record is not pending");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_sealed_prefix_survives() {
+        let dir = tempdir("torn");
+        let j = Journal::open(&dir).unwrap();
+        j.append(1, "alpha\n").unwrap();
+        j.append(2, "beta\n").unwrap();
+        // Simulate a kill mid-append of generation 3: write only part
+        // of the frame.
+        let frame = frame_record(3, "gamma\n");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(j.journal_path())
+            .unwrap();
+        f.write_all(&frame.as_bytes()[..frame.len() - 4]).unwrap();
+        drop(f);
+        let r = j.recover().unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.pending, Some((2, "beta\n".to_owned())));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_published_file_is_a_loud_error() {
+        let dir = tempdir("rot");
+        let j = Journal::open(&dir).unwrap();
+        j.append(1, "doc\n").unwrap();
+        j.mark_published(1, "doc\n").unwrap();
+        let mut bytes = std::fs::read(j.published_path()).unwrap();
+        bytes[3] ^= 0x20;
+        std::fs::write(j.published_path(), &bytes).unwrap();
+        let err = j.recover().unwrap_err();
+        assert!(err.contains("CRC"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn frame_roundtrips_and_rejects_a_flipped_body_byte() {
+        let frame = frame_record(7, "payload line\n");
+        let (records, torn) = scan_journal(frame.as_bytes());
+        assert_eq!(records, vec![(7, "payload line\n".to_owned())]);
+        assert!(!torn);
+        let mut corrupt = frame.into_bytes();
+        let at = "@gen 7 13\npay".len() - 1;
+        corrupt[at] ^= 0x01;
+        let (records, torn) = scan_journal(&corrupt);
+        assert!(records.is_empty());
+        assert!(torn);
+    }
+
+    #[test]
+    fn every_prefix_of_the_journal_recovers_a_sealed_state() {
+        let full = format!("{}{}", frame_record(1, "one\n"), frame_record(2, "two\n"));
+        let first = frame_record(1, "one\n").len();
+        for cut in 0..=full.len() {
+            let (records, _) = scan_journal(&full.as_bytes()[..cut]);
+            let expect: &[(u64, &str)] = if cut == full.len() {
+                &[(1, "one\n"), (2, "two\n")]
+            } else if cut >= first {
+                &[(1, "one\n")]
+            } else {
+                &[]
+            };
+            let got: Vec<(u64, &str)> = records.iter().map(|(g, d)| (*g, d.as_str())).collect();
+            assert_eq!(got, expect, "prefix of {cut} bytes");
+        }
+    }
+}

@@ -25,11 +25,17 @@
 //! can publish fresher generations forever without ever blocking a
 //! reader or tearing a dataset mid-query.
 
+pub mod journal;
+pub mod pipeline;
 pub mod service;
 pub mod snapshot;
+pub mod ttl;
 
+pub use journal::{Journal, Recovered};
+pub use pipeline::{GuardedPoint, Pipeline, PipelineConfig};
 pub use service::{Oracle, OracleReader};
 pub use snapshot::{
     DetourAnswer, Neighbor, PointAnswer, QueryError, ShardSummary, Snapshot, SnapshotMeta,
     SnapshotSource,
 };
+pub use ttl::{ServingState, TtlPolicy};

@@ -1,0 +1,625 @@
+//! The live scan→serve pipeline: a continuous control loop that turns
+//! a running [`ting::shard::Supervisor`]'s incremental merge deltas
+//! into crash-consistent oracle generations.
+//!
+//! One cycle: the scan side [`Pipeline::offer`]s deltas drained with
+//! [`ting::shard::Supervisor::take_delta`] (never blocking — a bounded
+//! queue coalesces on overflow, because delta application is
+//! idempotent assignment); [`Pipeline::tick`] then folds the queue
+//! into the accumulated matrix, renders the same CRC-sealed merged
+//! document an offline [`ting::shard::Supervisor::merge`] would
+//! produce, stages it through the publish [`Journal`] (append → seal →
+//! swap → truncate), and publishes the generation through the oracle's
+//! swap cell under the *journal's* generation number — so a kill at
+//! any byte and a [`Pipeline::recover`] always serve exactly the last
+//! sealed generation, bit-identical to an uninterrupted run.
+//!
+//! Serving is guarded by the [`TtlPolicy`] ladder, judged against the
+//! snapshot's newest measurement in virtual time: `Fresh` answers pass
+//! through, `Stale` ones carry a flag, and in `Degraded` mode point
+//! lookups serve-with-warning while ranking queries (`k_nearest`,
+//! `best_via`) refuse — a stale ordering is the one silent wrong
+//! answer this layer exists to prevent.
+
+use crate::journal::{Journal, Recovered};
+use crate::service::{Oracle, OracleReader};
+use crate::snapshot::{DetourAnswer, Neighbor, PointAnswer, QueryError, Snapshot};
+use crate::ttl::{ServingState, TtlPolicy};
+use netsim::{NodeId, SimDuration, SimTime};
+use obs::{names, Counter, Hist, Obs, Value};
+use std::collections::{HashMap, VecDeque};
+use ting::shard::{
+    parse_merged_document, partition_pairs, MergeDelta, MergeOutcome, ShardCoverage,
+};
+use ting::RttMatrix;
+
+/// Tuning knobs for the publish loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Most deltas held before the two oldest coalesce (≥ 1). The
+    /// queue never refuses an offer — backpressure folds history
+    /// instead of blocking the scan.
+    pub queue_cap: usize,
+    /// Minimum virtual time between publishes; zero publishes on every
+    /// tick that has queued data.
+    pub publish_interval: SimDuration,
+    /// Staleness horizon for the document's coverage rows. Must match
+    /// the supervisor's `ScannerConfig::staleness` for pipeline output
+    /// to stay bit-identical with an offline merge.
+    pub staleness: SimDuration,
+    /// Snapshot-level freshness SLOs.
+    pub ttl: TtlPolicy,
+}
+
+/// A point answer qualified by the serving state it was produced in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardedPoint {
+    pub answer: PointAnswer,
+    /// `Stale`/`Degraded` is the serve-with-warning flag: the value is
+    /// real, but the dataset behind it has outlived an SLO.
+    pub state: ServingState,
+}
+
+/// Pre-resolved metric handles for the publish loop.
+#[derive(Debug, Clone, Default)]
+struct Metrics {
+    deltas: Counter,
+    coalesced: Counter,
+    published: Counter,
+    served_stale: Counter,
+    refused: Counter,
+    batch_pairs: Hist,
+}
+
+impl Metrics {
+    fn new(obs: &Obs) -> Metrics {
+        Metrics {
+            deltas: obs.counter_handle("oracle.pipeline.deltas"),
+            coalesced: obs.counter_handle("oracle.pipeline.coalesced"),
+            published: obs.counter_handle("oracle.pipeline.published"),
+            served_stale: obs.counter_handle("oracle.stale.served_stale"),
+            refused: obs.counter_handle("oracle.stale.refused"),
+            batch_pairs: obs.hist_handle("oracle.pipeline.batch_pairs"),
+        }
+    }
+}
+
+/// The scan→serve control loop. Single-threaded like the [`Oracle`] it
+/// owns; hand [`Pipeline::reader`]s to concurrent consumers.
+#[derive(Debug)]
+pub struct Pipeline {
+    config: PipelineConfig,
+    nodes: Vec<NodeId>,
+    /// Pair ownership per shard, mirroring the supervisor's partition.
+    owned: Vec<Vec<(NodeId, NodeId)>>,
+    /// Accumulated dataset: every pair any delta ever carried.
+    matrix: RttMatrix,
+    measured_at: HashMap<(NodeId, NodeId), SimTime>,
+    /// Shard status tags from the most recent delta.
+    statuses: Vec<&'static str>,
+    journal: Option<Journal>,
+    oracle: Oracle,
+    queue: VecDeque<MergeDelta>,
+    /// Current generation — equals the oracle version *and* the
+    /// journal's record number; keeping all three in lockstep is what
+    /// makes recovery unambiguous.
+    generation: u64,
+    last_publish: Option<SimTime>,
+    state: ServingState,
+    /// Dataset age at the last judgment, cited in refusals.
+    age_ns: Option<u64>,
+    obs: Obs,
+    metrics: Metrics,
+}
+
+impl Pipeline {
+    /// A pipeline without observability or a journal (volatile mode —
+    /// tests and in-process consumers that don't need crash safety).
+    pub fn new(nodes: Vec<NodeId>, shards: usize, config: PipelineConfig) -> Pipeline {
+        Pipeline::with_obs(nodes, shards, config, Obs::off(), None)
+    }
+
+    /// The fully wired constructor. `shards` must match the supervisor
+    /// feeding this pipeline; `journal`, when given, makes every
+    /// publish crash-consistent. Serving starts `Degraded` on an empty
+    /// bootstrap generation — there is no data to certify yet.
+    pub fn with_obs(
+        nodes: Vec<NodeId>,
+        shards: usize,
+        config: PipelineConfig,
+        obs: Obs,
+        journal: Option<Journal>,
+    ) -> Pipeline {
+        assert!(config.queue_cap >= 1, "queue capacity must be positive");
+        let owned = partition_pairs(&nodes, shards);
+        let matrix = RttMatrix::new(nodes.clone());
+        let oracle = Oracle::with_obs(Snapshot::from_matrix(&matrix), obs.clone());
+        let metrics = Metrics::new(&obs);
+        obs.set_gauge("oracle.stale.state", ServingState::Degraded.gauge());
+        obs.set_gauge("oracle.pipeline.generation", 1);
+        Pipeline {
+            config,
+            nodes,
+            owned,
+            matrix,
+            measured_at: HashMap::new(),
+            statuses: vec!["live"; shards],
+            journal,
+            oracle,
+            queue: VecDeque::new(),
+            generation: 1,
+            last_publish: None,
+            state: ServingState::Degraded,
+            age_ns: None,
+            obs,
+            metrics,
+        }
+    }
+
+    /// Reopens a journaled pipeline after a kill: replays the journal
+    /// directory, republishes exactly the last sealed generation (the
+    /// pending record when the kill landed between seal and swap, else
+    /// the published file), rebuilds the accumulated dataset from it,
+    /// and re-judges serving at `now`. Returns what recovery found so
+    /// harnesses can assert on the crash window they injected.
+    pub fn recover(
+        nodes: Vec<NodeId>,
+        shards: usize,
+        config: PipelineConfig,
+        obs: Obs,
+        journal: Journal,
+        now: SimTime,
+    ) -> Result<(Pipeline, Recovered), String> {
+        let recovered = journal.recover()?;
+        let mut p = Pipeline::with_obs(nodes, shards, config, obs, Some(journal));
+        if let Some((gen, doc)) = recovered.serve().cloned() {
+            let parsed = parse_merged_document(&doc)?;
+            if parsed.matrix.nodes() != p.nodes.as_slice() {
+                return Err("recovered generation's node list differs from the pipeline's".into());
+            }
+            if parsed.shards.len() != shards {
+                return Err(format!(
+                    "recovered generation has {} shards, pipeline expects {shards}",
+                    parsed.shards.len()
+                ));
+            }
+            p.matrix = parsed.matrix;
+            p.measured_at = parsed
+                .measured_at_ns
+                .iter()
+                .map(|(&k, &v)| (k, SimTime(v)))
+                .collect();
+            p.statuses = parsed.shards.iter().map(|c| c.status).collect();
+            let snapshot = Snapshot::from_merged_document(&doc)?;
+            p.oracle
+                .publish_versioned_at(snapshot, gen, Some(now.as_nanos()));
+            p.generation = gen;
+            p.last_publish = Some(SimTime(parsed.now_ns));
+            p.obs.set_gauge("oracle.pipeline.generation", gen as i64);
+            // A pending record sealed but never swapped: finish its
+            // interrupted publish so the directory converges.
+            if recovered.pending.is_some() {
+                p.journal
+                    .as_ref()
+                    .expect("recovering pipeline has a journal")
+                    .mark_published(gen, &doc)
+                    .map_err(|e| format!("completing interrupted publish: {e}"))?;
+            }
+            if p.obs.is_tracing() {
+                p.obs.event(
+                    names::ORACLE_PIPELINE_RECOVER,
+                    now.as_nanos(),
+                    vec![
+                        ("generation", Value::U64(gen)),
+                        ("pending", Value::U64(recovered.pending.is_some() as u64)),
+                        ("torn_tail", Value::U64(recovered.torn_tail as u64)),
+                    ],
+                );
+            }
+        }
+        p.rejudge(now);
+        Ok((p, recovered))
+    }
+
+    /// Accepts a delta from the scan side. Never blocks and never
+    /// refuses: past `queue_cap` the two oldest queued deltas coalesce
+    /// into one (later pairs win collisions — application order is
+    /// preserved), trading publish granularity for bounded memory so a
+    /// supervisor outrunning the publisher is slowed by nothing.
+    pub fn offer(&mut self, delta: MergeDelta) {
+        self.metrics.deltas.inc();
+        if self.obs.is_tracing() {
+            self.obs.event(
+                names::ORACLE_PIPELINE_DELTA,
+                delta.now.as_nanos(),
+                vec![
+                    ("seq", Value::U64(delta.seq)),
+                    ("pairs", Value::U64(delta.pairs.len() as u64)),
+                ],
+            );
+        }
+        self.queue.push_back(delta);
+        if self.queue.len() > self.config.queue_cap {
+            let oldest = self.queue.pop_front().expect("queue is over capacity");
+            let into = self.queue.front_mut().expect("cap is at least 1");
+            let mut pairs = oldest.pairs;
+            pairs.append(&mut into.pairs);
+            into.pairs = pairs;
+            self.metrics.coalesced.inc();
+            if self.obs.is_tracing() {
+                self.obs.event(
+                    names::ORACLE_PIPELINE_COALESCE,
+                    into.now.as_nanos(),
+                    vec![
+                        ("from_seq", Value::U64(oldest.seq)),
+                        ("into_seq", Value::U64(into.seq)),
+                        ("pairs", Value::U64(into.pairs.len() as u64)),
+                    ],
+                );
+            }
+        }
+        self.obs
+            .set_gauge("oracle.pipeline.queue_depth", self.queue.len() as i64);
+    }
+
+    /// One control-loop turn at virtual instant `now`: publishes a new
+    /// generation when the queue has data and the publish interval has
+    /// elapsed, then re-judges the TTL ladder (which moves even when
+    /// nothing publishes — expiry is a function of time, not traffic).
+    /// Returns the generation published this turn, if any.
+    pub fn tick(&mut self, now: SimTime) -> Result<Option<u64>, String> {
+        let due = self
+            .last_publish
+            .is_none_or(|at| now.since(at) >= self.config.publish_interval);
+        let published = if !self.queue.is_empty() && due {
+            Some(self.publish_queued(now)?)
+        } else {
+            None
+        };
+        self.rejudge(now);
+        Ok(published)
+    }
+
+    /// Drains the queue into the accumulated dataset and pushes one
+    /// generation through journal and swap cell.
+    fn publish_queued(&mut self, now: SimTime) -> Result<u64, String> {
+        let span = self.obs.span_begin(
+            names::ORACLE_PIPELINE_PUBLISH_BEGIN,
+            now.as_nanos(),
+            vec![("queued", Value::U64(self.queue.len() as u64))],
+        );
+        let mut batch_pairs: u64 = 0;
+        while let Some(delta) = self.queue.pop_front() {
+            batch_pairs += delta.pairs.len() as u64;
+            for (a, b, rtt, t) in delta.pairs {
+                self.matrix.set(a, b, rtt);
+                self.measured_at.insert(ordered(a, b), t);
+            }
+            self.statuses = delta.statuses;
+        }
+        self.obs.set_gauge("oracle.pipeline.queue_depth", 0);
+
+        let doc = self.outcome(now).to_document();
+        let next = self.generation + 1;
+        if let Some(j) = &self.journal {
+            j.append(next, &doc)
+                .map_err(|e| format!("journal append (gen {next}): {e}"))?;
+        }
+        let snapshot = Snapshot::from_merged_document(&doc)?;
+        self.oracle.publish_versioned(snapshot, next);
+        self.generation = next;
+        if let Some(j) = &self.journal {
+            j.mark_published(next, &doc)
+                .map_err(|e| format!("journal publish (gen {next}): {e}"))?;
+        }
+        self.last_publish = Some(now);
+        self.metrics.published.inc();
+        self.metrics.batch_pairs.record_us(batch_pairs);
+        self.obs
+            .set_gauge("oracle.pipeline.generation", next as i64);
+        if self.obs.is_tracing() {
+            self.obs.span_end(
+                names::ORACLE_PIPELINE_PUBLISH_END,
+                span,
+                now.as_nanos(),
+                vec![
+                    ("generation", Value::U64(next)),
+                    ("batch_pairs", Value::U64(batch_pairs)),
+                ],
+            );
+        }
+        Ok(next)
+    }
+
+    /// Renders the accumulated dataset exactly as
+    /// [`ting::shard::merge_checkpoints`] would: coverage rows over the
+    /// same partition, staleness judged at `now` against the same
+    /// horizon, shard statuses from the latest delta.
+    fn outcome(&self, now: SimTime) -> MergeOutcome {
+        let mut shards = Vec::with_capacity(self.owned.len());
+        for (k, owned) in self.owned.iter().enumerate() {
+            let mut covered = 0;
+            let mut stale = 0;
+            let mut oldest: Option<u64> = None;
+            let mut newest: Option<u64> = None;
+            for &(a, b) in owned {
+                let Some(&t) = self.measured_at.get(&ordered(a, b)) else {
+                    continue;
+                };
+                covered += 1;
+                if now.since(t) >= self.config.staleness {
+                    stale += 1;
+                }
+                let t_ns = t.as_nanos();
+                oldest = Some(oldest.map_or(t_ns, |o| o.min(t_ns)));
+                newest = Some(newest.map_or(t_ns, |n| n.max(t_ns)));
+            }
+            shards.push(ShardCoverage {
+                shard: k as u32,
+                status: self.statuses[k],
+                owned: owned.len(),
+                covered,
+                stale,
+                uncovered: owned.len() - covered,
+                oldest_ns: oldest,
+                newest_ns: newest,
+            });
+        }
+        MergeOutcome {
+            matrix: self.matrix.clone(),
+            measured_at: self.measured_at.clone(),
+            shards,
+            now,
+        }
+    }
+
+    /// Re-judges the TTL ladder against the served snapshot's newest
+    /// measurement and traces every transition.
+    fn rejudge(&mut self, now: SimTime) {
+        let freshness = self.oracle.snapshot().freshness_ns();
+        self.age_ns = freshness.map(|f| now.as_nanos().saturating_sub(f));
+        let next = self.config.ttl.judge(freshness, now.as_nanos());
+        if next != self.state {
+            if self.obs.is_tracing() {
+                self.obs.event(
+                    names::ORACLE_STALE_TRANSITION,
+                    now.as_nanos(),
+                    vec![
+                        ("from", Value::Str(self.state.tag().to_owned())),
+                        ("to", Value::Str(next.tag().to_owned())),
+                        ("age_ns", Value::U64(self.age_ns.unwrap_or(u64::MAX))),
+                    ],
+                );
+            }
+            self.obs.set_gauge("oracle.stale.state", next.gauge());
+            self.state = next;
+        }
+    }
+
+    /// Guarded point lookup: always answers (a stale `R(x, y)` beats
+    /// none), qualified by the serving state so the client knows what
+    /// it got.
+    pub fn rtt(&self, x: NodeId, y: NodeId) -> Result<GuardedPoint, QueryError> {
+        let answer = self.oracle.rtt(x, y)?;
+        if self.state != ServingState::Fresh {
+            self.metrics.served_stale.inc();
+        }
+        Ok(GuardedPoint {
+            answer,
+            state: self.state,
+        })
+    }
+
+    /// Guarded k-nearest: refuses outright in `Degraded` mode — a
+    /// stale ordering is a silent wrong answer.
+    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<Vec<Neighbor>, QueryError> {
+        self.refuse_if_degraded()?;
+        self.oracle.k_nearest(x, k)
+    }
+
+    /// Guarded detour search: refuses outright in `Degraded` mode.
+    pub fn best_via(&self, x: NodeId, y: NodeId) -> Result<DetourAnswer, QueryError> {
+        self.refuse_if_degraded()?;
+        self.oracle.best_via(x, y)
+    }
+
+    fn refuse_if_degraded(&self) -> Result<(), QueryError> {
+        if self.state == ServingState::Degraded {
+            self.metrics.refused.inc();
+            return Err(QueryError::Degraded {
+                age_ns: self.age_ns,
+                hard_ttl_ns: self.config.ttl.hard_ttl.as_nanos(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Current serving state on the TTL ladder.
+    pub fn state(&self) -> ServingState {
+        self.state
+    }
+
+    /// Current generation (== oracle version == journal record).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Deltas currently queued for the next publish.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The served generation's sealed document, re-rendered at its own
+    /// publish instant — what the chaos harness compares bit-for-bit
+    /// across kill/resume boundaries.
+    pub fn serving_document(&self) -> String {
+        let at = self.last_publish.unwrap_or(SimTime::ZERO);
+        self.outcome(at).to_document()
+    }
+
+    /// A `Send + Sync` handle into the underlying swap cell.
+    pub fn reader(&self) -> OracleReader {
+        self.oracle.reader()
+    }
+
+    /// The underlying oracle (e.g. for unguarded access in tests).
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(seq: u64, pairs: Vec<(NodeId, NodeId, f64, SimTime)>, now: u64) -> MergeDelta {
+        MergeDelta {
+            seq,
+            pairs,
+            statuses: vec!["live"],
+            now: SimTime(now),
+        }
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig {
+            queue_cap: 4,
+            publish_interval: SimDuration(0),
+            staleness: SimDuration::from_hours(24),
+            ttl: TtlPolicy::new(SimDuration::from_secs(60), SimDuration::from_secs(600)).unwrap(),
+        }
+    }
+
+    fn nodes() -> Vec<NodeId> {
+        vec![NodeId(0), NodeId(1), NodeId(2)]
+    }
+
+    #[test]
+    fn bootstrap_is_degraded_until_first_publish() {
+        let mut p = Pipeline::new(nodes(), 1, config());
+        assert_eq!(p.state(), ServingState::Degraded);
+        assert_eq!(p.generation(), 1);
+        assert!(matches!(
+            p.k_nearest(NodeId(0), 2),
+            Err(QueryError::Degraded { .. })
+        ));
+        // Point lookups still serve, with the warning attached.
+        let g = p.rtt(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.state, ServingState::Degraded);
+        assert_eq!(g.answer.rtt_ms, None);
+
+        p.offer(delta(1, vec![(NodeId(0), NodeId(1), 7.0, SimTime(5))], 10));
+        let published = p.tick(SimTime(10)).unwrap();
+        assert_eq!(published, Some(2));
+        assert_eq!(p.state(), ServingState::Fresh);
+        let g = p.rtt(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.answer.rtt_ms, Some(7.0));
+        assert_eq!(g.state, ServingState::Fresh);
+        assert!(p.k_nearest(NodeId(0), 2).is_ok());
+    }
+
+    #[test]
+    fn ttl_ladder_descends_in_virtual_time_and_recovers_on_publish() {
+        let mut p = Pipeline::new(nodes(), 1, config());
+        p.offer(delta(1, vec![(NodeId(0), NodeId(1), 7.0, SimTime(0))], 0));
+        p.tick(SimTime(0)).unwrap();
+        assert_eq!(p.state(), ServingState::Fresh);
+
+        let soft = SimDuration::from_secs(60).as_nanos();
+        let hard = SimDuration::from_secs(600).as_nanos();
+        p.tick(SimTime(soft)).unwrap();
+        assert_eq!(p.state(), ServingState::Stale);
+        let g = p.rtt(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.state, ServingState::Stale, "stale answers are flagged");
+        assert!(
+            p.best_via(NodeId(0), NodeId(1)).is_ok(),
+            "stale still ranks"
+        );
+
+        p.tick(SimTime(hard)).unwrap();
+        assert_eq!(p.state(), ServingState::Degraded);
+        let err = p.best_via(NodeId(0), NodeId(1)).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::Degraded {
+                age_ns: Some(hard),
+                hard_ttl_ns: hard
+            }
+        );
+        assert!(
+            p.rtt(NodeId(0), NodeId(1)).is_ok(),
+            "points serve-with-warning"
+        );
+
+        // Fresh data recovers serving on the next publish.
+        p.offer(delta(
+            2,
+            vec![(NodeId(0), NodeId(2), 3.0, SimTime(hard))],
+            hard,
+        ));
+        p.tick(SimTime(hard)).unwrap();
+        assert_eq!(p.state(), ServingState::Fresh);
+    }
+
+    #[test]
+    fn republishing_old_data_does_not_reset_the_clock() {
+        let mut p = Pipeline::new(nodes(), 1, config());
+        p.offer(delta(1, vec![(NodeId(0), NodeId(1), 7.0, SimTime(0))], 0));
+        p.tick(SimTime(0)).unwrap();
+        let hard = SimDuration::from_secs(600).as_nanos();
+        // A status-only delta republishes the same pairs at `hard`.
+        p.offer(delta(2, vec![], hard));
+        p.tick(SimTime(hard)).unwrap();
+        assert_eq!(
+            p.state(),
+            ServingState::Degraded,
+            "freshness follows the data, not the publish instant"
+        );
+    }
+
+    #[test]
+    fn overflow_coalesces_oldest_and_preserves_replay_order() {
+        let obs = Obs::new(obs::ObsConfig::Metrics);
+        let mut cfg = config();
+        cfg.queue_cap = 2;
+        let mut p = Pipeline::with_obs(nodes(), 1, cfg, obs.clone(), None);
+        // Same pair three times: the last write must win after
+        // coalescing, or replay order broke.
+        p.offer(delta(1, vec![(NodeId(0), NodeId(1), 1.0, SimTime(1))], 1));
+        p.offer(delta(2, vec![(NodeId(0), NodeId(1), 2.0, SimTime(2))], 2));
+        p.offer(delta(3, vec![(NodeId(0), NodeId(1), 3.0, SimTime(3))], 3));
+        assert_eq!(p.queue_depth(), 2, "overflow folded the two oldest");
+        assert_eq!(obs.counter_value("oracle.pipeline.coalesced"), 1);
+        p.tick(SimTime(3)).unwrap();
+        let g = p.rtt(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.answer.rtt_ms, Some(3.0));
+        assert_eq!(g.answer.measured_at_ns, Some(3));
+    }
+
+    #[test]
+    fn publish_interval_batches_deltas() {
+        let mut cfg = config();
+        cfg.publish_interval = SimDuration::from_secs(10);
+        let mut p = Pipeline::new(nodes(), 1, cfg);
+        p.offer(delta(1, vec![(NodeId(0), NodeId(1), 1.0, SimTime(1))], 1));
+        assert_eq!(
+            p.tick(SimTime(1)).unwrap(),
+            Some(2),
+            "first publish is free"
+        );
+        p.offer(delta(2, vec![(NodeId(0), NodeId(2), 2.0, SimTime(2))], 2));
+        assert_eq!(p.tick(SimTime(2)).unwrap(), None, "interval not elapsed");
+        assert_eq!(p.queue_depth(), 1);
+        let later = SimTime(1 + SimDuration::from_secs(10).as_nanos());
+        assert_eq!(p.tick(later).unwrap(), Some(3));
+        assert_eq!(p.queue_depth(), 0);
+    }
+}

@@ -76,7 +76,8 @@ impl Oracle {
             obs,
             metrics,
         };
-        oracle.note_swap();
+        let at = oracle.snapshot().meta().now_ns;
+        oracle.note_swap(at);
         oracle
     }
 
@@ -84,32 +85,68 @@ impl Oracle {
     /// swaps it in. Readers already holding the previous `Arc` are
     /// untouched; new reads see the new generation. Returns the
     /// published version.
-    pub fn publish(&mut self, mut snapshot: Snapshot) -> u64 {
-        self.version += 1;
-        snapshot.stamp_version(self.version);
-        let next = Arc::new(snapshot);
-        *self.shared.write().expect("oracle swap cell poisoned") = next;
-        self.note_swap();
-        self.version
+    pub fn publish(&mut self, snapshot: Snapshot) -> u64 {
+        self.publish_versioned(snapshot, self.version + 1)
     }
 
-    fn note_swap(&self) {
+    /// Publishes under an explicit version number. The journaled
+    /// pipeline keeps its generation counter in lockstep with its
+    /// publish journal, so a crash-recovery republish must carry the
+    /// *same* number an uninterrupted run would have — not whatever
+    /// `publish` would hand out next. Versions stay strictly
+    /// increasing; a regression panics (it would silently break every
+    /// client's dataset-change detection).
+    pub fn publish_versioned(&mut self, snapshot: Snapshot, version: u64) -> u64 {
+        let at = snapshot.meta().now_ns;
+        self.publish_versioned_at(snapshot, version, at)
+    }
+
+    /// [`Oracle::publish_versioned`] with an explicit swap instant for
+    /// the trace. A live publish happens at the dataset's own `now`,
+    /// but a crash recovery republishes an *old* dataset at a *later*
+    /// instant — stamping the dataset's time would run the trace clock
+    /// backwards.
+    pub fn publish_versioned_at(
+        &mut self,
+        mut snapshot: Snapshot,
+        version: u64,
+        swap_t_ns: Option<u64>,
+    ) -> u64 {
+        assert!(
+            version > self.version,
+            "oracle versions are strictly increasing: {} -> {version}",
+            self.version
+        );
+        self.version = version;
+        snapshot.stamp_version(version);
+        let next = Arc::new(snapshot);
+        *self.shared.write().expect("oracle swap cell poisoned") = next;
+        self.note_swap(swap_t_ns);
+        version
+    }
+
+    fn note_swap(&self, t_ns: Option<u64>) {
         let snap = self.snapshot();
         let meta = snap.meta();
         self.obs
             .set_gauge("oracle.snapshot.version", meta.version as i64);
         self.obs
             .set_gauge("oracle.snapshot.measured_pairs", meta.measured_pairs as i64);
+        // A swap with no instant (a matrix-source bootstrap — no
+        // clock) has no place on the virtual-time event log; the
+        // gauges above still record it.
         if self.obs.is_tracing() {
-            self.obs.event(
-                names::ORACLE_SNAPSHOT_SWAP,
-                meta.now_ns.unwrap_or(0),
-                vec![
-                    ("version", Value::U64(meta.version)),
-                    ("nodes", Value::U64(meta.nodes as u64)),
-                    ("measured_pairs", Value::U64(meta.measured_pairs as u64)),
-                ],
-            );
+            if let Some(t_ns) = t_ns {
+                self.obs.event(
+                    names::ORACLE_SNAPSHOT_SWAP,
+                    t_ns,
+                    vec![
+                        ("version", Value::U64(meta.version)),
+                        ("nodes", Value::U64(meta.nodes as u64)),
+                        ("measured_pairs", Value::U64(meta.measured_pairs as u64)),
+                    ],
+                );
+            }
         }
     }
 
@@ -282,14 +319,34 @@ mod tests {
 
     #[test]
     fn swap_emits_the_registered_trace_event() {
+        use std::collections::HashMap;
+        use ting::shard::MergeOutcome;
         let obs = Obs::new(ObsConfig::Trace);
+        // Matrix-source snapshots carry no dataset instant: swapping
+        // them moves gauges but must not enter the virtual-time event
+        // log (a t=0 record would run a live trace's clock backwards).
         let mut oracle = Oracle::with_obs(snap(5.0), obs.clone());
         oracle.publish(snap(6.0));
-        let swaps: Vec<_> = obs
-            .events()
-            .into_iter()
-            .filter(|e| e.name == names::ORACLE_SNAPSHOT_SWAP)
-            .collect();
-        assert_eq!(swaps.len(), 2, "initial publish + explicit publish");
+        let swaps = |obs: &Obs| {
+            obs.events()
+                .into_iter()
+                .filter(|e| e.name == names::ORACLE_SNAPSHOT_SWAP)
+                .count()
+        };
+        assert_eq!(swaps(&obs), 0, "clockless snapshots stay off the log");
+
+        let mut m = RttMatrix::new(vec![NodeId(0), NodeId(1)]);
+        m.set(NodeId(0), NodeId(1), 7.0);
+        let mut measured_at = HashMap::new();
+        measured_at.insert((NodeId(0), NodeId(1)), netsim::SimTime(5_000));
+        let doc = MergeOutcome {
+            matrix: m,
+            measured_at,
+            shards: vec![],
+            now: netsim::SimTime(10_000),
+        }
+        .to_document();
+        oracle.publish(Snapshot::from_merged_document(&doc).unwrap());
+        assert_eq!(swaps(&obs), 1, "a timestamped publish is traced");
     }
 }

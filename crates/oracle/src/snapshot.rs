@@ -76,12 +76,36 @@ impl SnapshotMeta {
 pub enum QueryError {
     /// The named node is not in the snapshot's relay set.
     UnknownNode(NodeId),
+    /// The serving layer refused a ranking query: the dataset aged
+    /// past its hard TTL (or its age is unknowable), and a stale
+    /// *ordering* is exactly the silent wrong answer the SLO exists to
+    /// prevent. Point lookups still serve-with-warning in this state.
+    Degraded {
+        /// The dataset's age when judged, when known.
+        age_ns: Option<u64>,
+        /// The hard TTL it violated.
+        hard_ttl_ns: u64,
+    },
 }
 
 impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryError::UnknownNode(n) => write!(f, "unknown node {}", n.0),
+            QueryError::Degraded {
+                age_ns: Some(age),
+                hard_ttl_ns,
+            } => write!(
+                f,
+                "serving degraded: dataset age {age} ns exceeds hard TTL {hard_ttl_ns} ns"
+            ),
+            QueryError::Degraded {
+                age_ns: None,
+                hard_ttl_ns,
+            } => write!(
+                f,
+                "serving degraded: dataset age unknown (hard TTL {hard_ttl_ns} ns)"
+            ),
         }
     }
 }
@@ -121,6 +145,14 @@ pub struct DetourAnswer {
     /// Best via relay with its combined `R(src, v) + R(v, dst)`;
     /// `None` when no third relay has both legs measured.
     pub via: Option<Neighbor>,
+    /// Freshness of the *cited path*: for a via answer, the **older**
+    /// of the two leg measurements — a detour is only as fresh as its
+    /// stalest leg; for a direct-only answer, the direct pair's
+    /// instant. `None` when a contributing leg lacks a timestamp.
+    pub measured_at_ns: Option<u64>,
+    /// Age of `measured_at_ns` at the snapshot's `now_ns`, when both
+    /// are known — what TTL policy judges for detours.
+    pub age_ns: Option<u64>,
     pub snapshot_version: u64,
 }
 
@@ -239,23 +271,40 @@ impl Snapshot {
         self.view.index_of(n).ok_or(QueryError::UnknownNode(n))
     }
 
+    /// The newest measurement instant in the dataset — what snapshot-
+    /// level TTL policy judges. Tied to the *data*, not the publish:
+    /// republishing unchanged pairs (a status-only generation) does
+    /// not move it. `None` for sources without timestamps.
+    pub fn freshness_ns(&self) -> Option<u64> {
+        self.meta.newest_ns
+    }
+
+    /// The pair's measurement instant, in index space.
+    fn timestamp_idx(&self, i: u32, j: u32) -> Option<u64> {
+        let t = self.measured_at_ns.as_deref()?;
+        let v = t[i as usize * self.view.len() + j as usize];
+        if v == NO_TIMESTAMP {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Age of a measurement at the snapshot's `now_ns`.
+    fn age_of(&self, measured_at_ns: Option<u64>) -> Option<u64> {
+        match (self.meta.now_ns, measured_at_ns) {
+            (Some(now), Some(at)) => Some(now.saturating_sub(at)),
+            _ => None,
+        }
+    }
+
     /// Point lookup `R(x, y)` with freshness metadata.
     #[inline]
     pub fn rtt(&self, x: NodeId, y: NodeId) -> Result<PointAnswer, QueryError> {
         let (i, j) = (self.resolve(x)?, self.resolve(y)?);
         let rtt_ms = self.view.get_idx(i, j);
-        let measured_at_ns = self.measured_at_ns.as_deref().and_then(|t| {
-            let v = t[i as usize * self.view.len() + j as usize];
-            if v == NO_TIMESTAMP {
-                None
-            } else {
-                Some(v)
-            }
-        });
-        let age_ns = match (self.meta.now_ns, measured_at_ns) {
-            (Some(now), Some(at)) => Some(now.saturating_sub(at)),
-            _ => None,
-        };
+        let measured_at_ns = self.timestamp_idx(i, j);
+        let age_ns = self.age_of(measured_at_ns);
         Ok(PointAnswer {
             rtt_ms,
             measured_at_ns,
@@ -291,7 +340,17 @@ impl Snapshot {
     /// `R(x, v) + R(v, y)`, via the same kernel `analysis::tiv` uses.
     pub fn best_via(&self, x: NodeId, y: NodeId) -> Result<DetourAnswer, QueryError> {
         let (i, j) = (self.resolve(x)?, self.resolve(y)?);
-        let via = self.view.best_detour(i, j).map(|best| Neighbor {
+        let best = self.view.best_detour(i, j);
+        // A detour is only as fresh as its stalest leg: cite the older
+        // of the two leg instants so TTL policy applies to detours.
+        let measured_at_ns = match &best {
+            Some(b) => match (self.timestamp_idx(i, b.via), self.timestamp_idx(b.via, j)) {
+                (Some(p), Some(q)) => Some(p.min(q)),
+                _ => None,
+            },
+            None => self.timestamp_idx(i, j),
+        };
+        let via = best.map(|best| Neighbor {
             node: self.view.node(best.via),
             rtt_ms: best.rtt_ms,
         });
@@ -300,6 +359,8 @@ impl Snapshot {
             dst: y,
             direct_ms: self.view.get_idx(i, j),
             via,
+            measured_at_ns,
+            age_ns: self.age_of(measured_at_ns),
             snapshot_version: self.meta.version,
         })
     }
@@ -407,6 +468,60 @@ mod tests {
         let d = s.best_via(NodeId(0), NodeId(2)).unwrap();
         assert!(!d.is_improvement());
         assert_eq!(d.savings_percent(), 0.0);
+    }
+
+    #[test]
+    fn detour_freshness_cites_the_older_leg() {
+        use netsim::SimTime;
+        use std::collections::HashMap;
+        use ting::shard::MergeOutcome;
+        let mut m = RttMatrix::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        m.set(NodeId(0), NodeId(1), 100.0);
+        m.set(NodeId(0), NodeId(2), 20.0);
+        m.set(NodeId(1), NodeId(2), 20.0);
+        let mut measured_at = HashMap::new();
+        measured_at.insert((NodeId(0), NodeId(1)), SimTime(5_000));
+        measured_at.insert((NodeId(0), NodeId(2)), SimTime(1_000));
+        measured_at.insert((NodeId(1), NodeId(2)), SimTime(4_000));
+        let doc = MergeOutcome {
+            matrix: m,
+            measured_at,
+            shards: vec![],
+            now: SimTime(10_000),
+        }
+        .to_document();
+        let s = Snapshot::from_merged_document(&doc).unwrap();
+        assert_eq!(s.freshness_ns(), Some(5_000));
+        let d = s.best_via(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(d.via.unwrap().node, NodeId(2));
+        // Legs (0,2) @ 1000 and (2,1) @ 4000: the detour is exactly as
+        // fresh as its *stalest* leg — the min, never the max.
+        assert_eq!(d.measured_at_ns, Some(1_000));
+        assert_eq!(d.age_ns, Some(9_000));
+
+        // With no candidate via relay the answer cites the direct pair.
+        let mut m = RttMatrix::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        m.set(NodeId(0), NodeId(1), 50.0);
+        let mut measured_at = HashMap::new();
+        measured_at.insert((NodeId(0), NodeId(1)), SimTime(7_000));
+        let doc = MergeOutcome {
+            matrix: m,
+            measured_at,
+            shards: vec![],
+            now: SimTime(10_000),
+        }
+        .to_document();
+        let s = Snapshot::from_merged_document(&doc).unwrap();
+        let d = s.best_via(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(d.via, None);
+        assert_eq!(d.measured_at_ns, Some(7_000));
+        assert_eq!(d.age_ns, Some(3_000));
+
+        // Timestamp-free sources stay `None` all the way through.
+        let d = Snapshot::from_matrix(&matrix())
+            .best_via(NodeId(1), NodeId(2))
+            .unwrap();
+        assert_eq!((d.measured_at_ns, d.age_ns), (None, None));
     }
 
     #[test]
