@@ -28,8 +28,8 @@ use netsim::{NodeId, SimDuration, SimTime};
 use oracle::{Oracle, Pipeline, PipelineConfig, Snapshot, TtlPolicy};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::fmt::Write as _;
-use ting::obs::{config_hash, names, Obs, ObsConfig};
-use ting::shard::MergeDelta;
+use ting::obs::{config_hash, names, Lineage, Obs, ObsConfig};
+use ting::shard::{DeltaPair, MergeDelta};
 use ting::RttMatrix;
 
 struct Config {
@@ -91,7 +91,19 @@ fn publish_batches(matrix: &RttMatrix, publishes: usize) -> Vec<MergeDelta> {
             let now = SimTime((i as u64 + 1) * 1_000_000);
             MergeDelta {
                 seq: i as u64 + 1,
-                pairs: slice.iter().map(|&(a, b, rtt)| (a, b, rtt, now)).collect(),
+                pairs: slice
+                    .iter()
+                    .map(|&(a, b, rtt)| DeltaPair {
+                        a,
+                        b,
+                        rtt_ms: rtt,
+                        measured_at: now,
+                        lineage: Lineage {
+                            shard: 0,
+                            round: i as u64 + 1,
+                        },
+                    })
+                    .collect(),
                 statuses: vec!["live"],
                 now,
             }
@@ -106,6 +118,7 @@ fn pipeline_config() -> PipelineConfig {
         staleness: SimDuration::from_hours(24),
         ttl: TtlPolicy::new(SimDuration::from_hours(1), SimDuration::from_hours(48))
             .expect("static TTL config"),
+        slo: None,
     }
 }
 
@@ -132,7 +145,7 @@ fn run_once(
 
     let started = std::time::Instant::now();
     for &x in sources {
-        for n in oracle.k_nearest(x, cfg.k).expect("known node") {
+        for n in oracle.k_nearest(x, cfg.k).expect("known node").neighbors {
             checksum += n.rtt_ms;
         }
     }

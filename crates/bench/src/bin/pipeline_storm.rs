@@ -19,15 +19,24 @@
 //!
 //! Any violation exits non-zero.
 //!
-//! Usage: `pipeline_storm [--seed N] [--virtual-hours H]`
+//! With `--trace-out PATH` the storm additionally runs a *no-fault*
+//! control campaign — same topology and cadence, no injected faults —
+//! with full tracing and the live SLO engine enabled, and writes its
+//! JSONL export to PATH. CI feeds that trace to `ting-prof slo
+//! --fail-on staleness`: under the no-fault baseline the staleness
+//! SLO must never breach, so any breach there is a serving-loop
+//! regression, not weather.
+//!
+//! Usage: `pipeline_storm [--seed N] [--virtual-hours H] [--trace-out PATH]`
 //! (env fallbacks: `TING_SEED`, `TING_HOURS`).
 
 use bench::env_u64;
 use netsim::{FaultPlan, NodeId, SimDuration, SimTime};
 use oracle::journal::frame_record;
-use oracle::{Journal, Pipeline, PipelineConfig, TtlPolicy};
+use oracle::{Journal, Pipeline, PipelineConfig, SloConfig, TtlPolicy};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use ting::obs::{config_hash, ExportMeta, Obs, ObsConfig};
 use ting::shard::{MergeDelta, Supervisor, SupervisorConfig};
 use ting::{AdaptiveTimeoutConfig, HealthConfig, ScannerConfig, TingConfig, ValidationConfig};
 use tor_sim::churn::ChurnConfig;
@@ -83,7 +92,79 @@ fn pipeline_config() -> PipelineConfig {
         staleness: scan_config().staleness,
         ttl: TtlPolicy::new(SimDuration::from_hours(1), SimDuration::from_hours(48))
             .expect("static TTL config"),
+        slo: None,
     }
+}
+
+/// The traced control run's SLOs. Under the no-fault baseline the 99%
+/// staleness objective must hold with zero burn, so any breach is a
+/// serving-loop regression; the other objectives are sentinels (0 =
+/// breach only when *nothing* succeeds) so the gate stays about
+/// staleness. The soft TTL must exceed the scanner's own re-measure
+/// period (`scan_config().staleness`): a healthy scanner leaves a
+/// fresh-enough pair alone for that long, and a tighter serving TTL
+/// would read that by-design quiet as staleness and poison the gate.
+fn traced_pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        ttl: TtlPolicy::new(
+            scan_config().staleness + SimDuration::from_hours(1),
+            SimDuration::from_hours(48),
+        )
+        .expect("static TTL config"),
+        slo: Some(SloConfig {
+            bucket: SimDuration::from_secs(ROUND_SECS),
+            buckets: 48,
+            coverage_objective_ppm: 0,
+            progress_objective_ppm: 0,
+            latency_budget: SimDuration::from_secs(ROUND_SECS),
+            latency_objective_ppm: 0,
+            staleness_objective_ppm: 990_000,
+            burn_threshold_milli: 1000,
+        }),
+        ..pipeline_config()
+    }
+}
+
+/// The no-fault control campaign: same topology, cadence, and sharding
+/// as the storm, but a clean network, full tracing, and the SLO engine
+/// live. Writes the JSONL export to `path`.
+fn traced_run(seed: u64, rounds: u64, path: &Path) {
+    let obs = Obs::new(ObsConfig::Trace);
+    let mut net = TorNetworkBuilder::live(seed, 12)
+        .vantages(2)
+        .observability(obs.clone())
+        .build();
+    let nodes: Vec<NodeId> = net.relays.iter().copied().take(N_NODES).collect();
+    let mut sup = Supervisor::with_obs(
+        nodes.clone(),
+        supervisor_config(),
+        ting_config(),
+        obs.clone(),
+    );
+    sup.load_locations(&net);
+    let mut p = Pipeline::with_obs(nodes, SHARDS, traced_pipeline_config(), obs.clone(), None);
+    for round in 0..rounds {
+        let target = SimTime::ZERO + SimDuration::from_secs(round * ROUND_SECS);
+        if target > net.sim.now() {
+            net.sim.advance_to(target);
+        }
+        sup.run_round(&mut net);
+        p.offer(sup.take_delta(net.sim.now()));
+        p.tick(net.sim.now())
+            .expect("volatile pipeline cannot fail");
+    }
+    let text = obs.export_jsonl(&ExportMeta {
+        seed,
+        config_hash: config_hash("pipeline-storm-trace-v1"),
+    });
+    std::fs::write(path, &text).expect("write trace output");
+    println!(
+        "# trace: {} rounds (no faults) -> {} ({} bytes, final state {})",
+        rounds,
+        path.display(),
+        text.len(),
+        p.state().tag()
+    );
 }
 
 /// One supervised storm, drained round by round. Returns the node set,
@@ -362,6 +443,17 @@ fn main() {
     }
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&base_dir);
+
+    // The traced no-fault control run, when requested — written even
+    // if the storm phases found violations, so CI always has the
+    // artifact to post-mortem with.
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+    {
+        traced_run(seed, rounds, Path::new(path));
+    }
 
     if violations.is_empty() {
         println!("pipeline storm PASSED: continuous serving exact, kill/resume bit-identical");

@@ -166,6 +166,7 @@ fn storm_run(
             MergeOutcome {
                 matrix: ting::RttMatrix::new(Vec::new()),
                 measured_at: Default::default(),
+                lineage: Default::default(),
                 shards: Vec::new(),
                 now: net.sim.now(),
             }

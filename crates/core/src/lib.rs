@@ -89,9 +89,9 @@ pub use report::{CampaignReport, QualityFlag};
 pub use sampling::SamplePolicy;
 pub use scanner::{Scanner, ScannerConfig};
 pub use shard::{
-    merge_checkpoints, parse_merged_document, partition_pairs, MergeDelta, MergeOutcome,
+    merge_checkpoints, parse_merged_document, partition_pairs, DeltaPair, MergeDelta, MergeOutcome,
     MergedDocument, ShardCoverage, ShardStatus, Supervisor, SupervisorConfig, SupervisorReport,
-    MERGED_MAGIC,
+    MERGED_MAGIC, MERGED_MAGIC_V1,
 };
 pub use timeout::{AdaptiveTimeoutConfig, TimeoutEstimators, TimeoutPhase};
 pub use validate::{ValidationConfig, ValidationError, Verdict};

@@ -83,6 +83,15 @@ pub struct Scanner {
     config: ScannerConfig,
     matrix: RttMatrix,
     measured_at: HashMap<(NodeId, NodeId), SimTime>,
+    /// Scan rounds completed-or-started over this scanner's lifetime
+    /// (checkpointed, so round numbers stay stable across restarts).
+    /// 1-based: the first round is round 1; 0 means "no round yet".
+    rounds_run: u64,
+    /// The round (value of `rounds_run`) in which each cached estimate
+    /// was accepted — the scanner half of a measurement's lineage.
+    /// Estimates loaded from pre-lineage (v1/v2) checkpoints carry
+    /// round 0, meaning "unknown".
+    measured_round: HashMap<(NodeId, NodeId), u64>,
     /// Pairs under failure backoff.
     pending_retry: HashMap<(NodeId, NodeId), FailState>,
     /// Incremental priority structure mirroring `measured_at` +
@@ -106,6 +115,8 @@ impl Scanner {
             config,
             matrix: RttMatrix::new(nodes.clone()),
             measured_at: HashMap::new(),
+            rounds_run: 0,
+            measured_round: HashMap::new(),
             pending_retry: HashMap::new(),
             queue: WorkQueue::new(nodes, config.staleness),
             health: config.health.map(RelayHealth::new),
@@ -177,6 +188,18 @@ impl Scanner {
     /// When `pair` was last measured, if ever.
     pub fn measured_at(&self, a: NodeId, b: NodeId) -> Option<SimTime> {
         self.measured_at.get(&key(a, b)).copied()
+    }
+
+    /// The scan round in which `pair`'s cached estimate was accepted,
+    /// if the pair has one. Round 0 means the estimate predates
+    /// lineage tracking (loaded from a v1/v2 checkpoint).
+    pub fn measured_round(&self, a: NodeId, b: NodeId) -> Option<u64> {
+        self.measured_round.get(&key(a, b)).copied()
+    }
+
+    /// Scan rounds run over this scanner's lifetime (checkpointed).
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
     }
 
     /// Failure-backoff state for a pair: `(consecutive failures,
@@ -319,6 +342,7 @@ impl Scanner {
         }
         self.matrix.set(a, b, est);
         self.measured_at.insert(key(a, b), now);
+        self.measured_round.insert(key(a, b), self.rounds_run);
         self.pending_retry.remove(&key(a, b));
         self.queue.on_measured(a, b, now);
         true
@@ -592,6 +616,7 @@ impl Scanner {
     /// [`RoundReport::still_pending`] is the *true* backlog, not capped
     /// at [`ScannerConfig::pairs_per_round`].
     pub fn run_round(&mut self, net: &mut TorNetwork, ting: &Ting) -> RoundReport {
+        self.rounds_run += 1;
         let plan = self.plan_round_healthy(net.sim.now(), ting);
         let round = ting.obs().span_begin(
             obs::names::SCAN_ROUND_BEGIN,
@@ -651,6 +676,7 @@ impl Scanner {
         if k <= 1 {
             return self.run_round(net, ting);
         }
+        self.rounds_run += 1;
         let plan = self.plan_round_healthy(net.sim.now(), ting);
         let round = ting.obs().span_begin(
             obs::names::SCAN_ROUND_BEGIN,
@@ -710,15 +736,17 @@ impl Scanner {
     }
 
     /// Serializes the scanner's full state — config, cache, measurement
-    /// timestamps, per-pair retry backoff, and (when enabled) relay
-    /// health — to a plain-text v2 checkpoint sealed with a CRC-32
-    /// trailer ([`crate::checkpoint::seal`]). A scan killed mid-run and
-    /// resumed via [`Scanner::from_checkpoint`] continues exactly where
-    /// it stopped: completed pairs stay done, failed pairs stay under
-    /// backoff, quarantined relays stay quarantined.
+    /// timestamps and lineage rounds, per-pair retry backoff, and (when
+    /// enabled) relay health — to a plain-text v3 checkpoint sealed
+    /// with a CRC-32 trailer ([`crate::checkpoint::seal`]). A scan
+    /// killed mid-run and resumed via [`Scanner::from_checkpoint`]
+    /// continues exactly where it stopped: completed pairs stay done,
+    /// failed pairs stay under backoff, quarantined relays stay
+    /// quarantined, and round numbers keep counting from where they
+    /// were, so lineage stays stable across restarts.
     pub fn to_checkpoint(&self) -> String {
         let mut out = String::new();
-        out.push_str("# ting scan checkpoint v2\n");
+        out.push_str("# ting scan checkpoint v3\n");
         out.push_str("# nodes:");
         for n in self.matrix.nodes() {
             let _ = write!(out, " {}", n.0);
@@ -765,9 +793,19 @@ impl Scanner {
             }
         }
         out.push('\n');
+        let _ = writeln!(out, "# rounds: {}", self.rounds_run);
         for (a, b, rtt) in self.matrix.pairs() {
             let t = self.measured_at[&key(a, b)];
-            let _ = writeln!(out, "m\t{}\t{}\t{}\t{}", a.0, b.0, rtt, t.as_nanos());
+            let round = self.measured_round.get(&key(a, b)).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "m\t{}\t{}\t{}\t{}\t{}",
+                a.0,
+                b.0,
+                rtt,
+                t.as_nanos(),
+                round
+            );
         }
         let nodes = self.matrix.nodes();
         for (i, &a) in nodes.iter().enumerate() {
@@ -790,26 +828,35 @@ impl Scanner {
         crate::checkpoint::seal(out)
     }
 
-    /// Parses a checkpoint document. v2 documents (the current format)
-    /// must carry a valid CRC-32 trailer — any flipped or truncated
-    /// byte is refused rather than resumed from. v1 documents (pre-CRC,
-    /// pre-health) still load for compatibility with old scan state.
+    /// Parses a checkpoint document. v3 documents (the current format)
+    /// and v2 documents must carry a valid CRC-32 trailer — any flipped
+    /// or truncated byte is refused rather than resumed from. v1
+    /// documents (pre-CRC, pre-health) still load for compatibility
+    /// with old scan state; v1/v2 estimates carry lineage round 0
+    /// ("unknown").
     pub fn from_checkpoint(text: &str) -> Result<Scanner, String> {
         let magic = text.lines().next().ok_or("empty checkpoint")?;
         match magic {
-            "# ting scan checkpoint v1" => Self::parse_checkpoint(text, false),
+            "# ting scan checkpoint v1" => Self::parse_checkpoint(text, 1),
             "# ting scan checkpoint v2" => {
                 let body = crate::checkpoint::verify_sealed(text)?;
-                Self::parse_checkpoint(body, true)
+                Self::parse_checkpoint(body, 2)
+            }
+            "# ting scan checkpoint v3" => {
+                let body = crate::checkpoint::verify_sealed(text)?;
+                Self::parse_checkpoint(body, 3)
             }
             other => Err(format!("bad magic line: {other:?}")),
         }
     }
 
-    /// The shared checkpoint body parser. `v2` admits the health
-    /// config keys and `h`/`q` state lines; v1 documents with either
-    /// are corrupt.
-    fn parse_checkpoint(body: &str, v2: bool) -> Result<Scanner, String> {
+    /// The shared checkpoint body parser. `version >= 2` admits the
+    /// health config keys and `h`/`q` state lines; `version >= 3` adds
+    /// the `# rounds:` header and the per-estimate round column. A
+    /// document carrying state its version doesn't admit is corrupt.
+    fn parse_checkpoint(body: &str, version: u32) -> Result<Scanner, String> {
+        let v2 = version >= 2;
+        let v3 = version >= 3;
         let mut lines = body.lines();
         lines.next(); // magic, already matched by the caller
         let nodes_line = lines.next().ok_or("missing node list")?;
@@ -859,6 +906,15 @@ impl Scanner {
         }
         let mut scanner = Scanner::new(nodes, config);
         for (lineno, line) in lines.enumerate() {
+            if v3 {
+                if let Some(r) = line.strip_prefix("# rounds:") {
+                    scanner.rounds_run = r
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad rounds header: {e}"))?;
+                    continue;
+                }
+            }
             if line.trim().is_empty() || line.starts_with('#') {
                 continue;
             }
@@ -885,10 +941,18 @@ impl Scanner {
                         .next()
                         .and_then(|t| t.parse().ok())
                         .ok_or_else(|| err("bad timestamp"))?;
+                    let round: u64 = if v3 {
+                        f.next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err("bad round"))?
+                    } else {
+                        0
+                    };
                     scanner.matrix.set(a, b, rtt);
                     scanner
                         .measured_at
                         .insert(key(a, b), SimTime::ZERO + SimDuration::from_nanos(t_ns));
+                    scanner.measured_round.insert(key(a, b), round);
                 }
                 "f" => {
                     let b = NodeId(

@@ -34,7 +34,7 @@
 use crate::orchestrator::{Ting, TingConfig};
 use crate::scanner::{RoundReport, Scanner, ScannerConfig};
 use netsim::{NodeId, SimDuration, SimTime};
-use obs::{names, Obs, Value};
+use obs::{names, Lineage, Obs, Value};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -187,6 +187,10 @@ pub struct ShardCoverage {
 pub struct MergeOutcome {
     pub matrix: crate::matrix::RttMatrix,
     pub measured_at: HashMap<(NodeId, NodeId), SimTime>,
+    /// Per-pair provenance: the shard and scan round that produced
+    /// each covered cell. Pairs without an entry (data merged from
+    /// pre-lineage state) render as unknown.
+    pub lineage: HashMap<(NodeId, NodeId), Lineage>,
     /// One row per shard, in shard-id order.
     pub shards: Vec<ShardCoverage>,
     /// The merge instant staleness was judged against.
@@ -202,7 +206,7 @@ impl MergeOutcome {
     /// harness compares across kill/resume boundaries.
     pub fn to_document(&self) -> String {
         let mut out = String::new();
-        out.push_str("# ting merged matrix v1\n");
+        out.push_str("# ting merged matrix v2\n");
         out.push_str("# nodes:");
         for n in self.matrix.nodes() {
             let _ = write!(out, " {}", n.0);
@@ -228,7 +232,30 @@ impl MergeOutcome {
             for &b in &nodes[i + 1..] {
                 if let Some(rtt) = self.matrix.get(a, b) {
                     let t = self.measured_at[&ordered(a, b)];
-                    let _ = writeln!(out, "m\t{}\t{}\t{}\t{}", a.0, b.0, rtt, t.as_nanos());
+                    match self.lineage.get(&ordered(a, b)) {
+                        Some(l) => {
+                            let _ = writeln!(
+                                out,
+                                "m\t{}\t{}\t{}\t{}\t{}\t{}",
+                                a.0,
+                                b.0,
+                                rtt,
+                                t.as_nanos(),
+                                l.shard,
+                                l.round
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(
+                                out,
+                                "m\t{}\t{}\t{}\t{}\t-\t-",
+                                a.0,
+                                b.0,
+                                rtt,
+                                t.as_nanos()
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -247,7 +274,11 @@ impl MergeOutcome {
 }
 
 /// The first line of the [`MergeOutcome::to_document`] format.
-pub const MERGED_MAGIC: &str = "# ting merged matrix v1";
+pub const MERGED_MAGIC: &str = "# ting merged matrix v2";
+
+/// The first line of the pre-lineage (v1) document format, still
+/// accepted by [`parse_merged_document`] for compatibility.
+pub const MERGED_MAGIC_V1: &str = "# ting merged matrix v1";
 
 /// One incremental publish unit drained from a running [`Supervisor`]
 /// by [`Supervisor::take_delta`]: every owned pair measured (or
@@ -259,13 +290,25 @@ pub const MERGED_MAGIC: &str = "# ting merged matrix v1";
 pub struct MergeDelta {
     /// Strictly increasing per supervisor, starting at 1.
     pub seq: u64,
-    /// `(a, b, rtt_ms, measured_at)` in shard, then partition order —
-    /// deterministic for a given supervisor state.
-    pub pairs: Vec<(NodeId, NodeId, f64, SimTime)>,
+    /// Measured pairs in shard, then partition order — deterministic
+    /// for a given supervisor state.
+    pub pairs: Vec<DeltaPair>,
     /// Status tag per shard ([`ShardStatus::tag`]), indexed by shard id.
     pub statuses: Vec<&'static str>,
     /// The instant the delta was drained.
     pub now: SimTime,
+}
+
+/// One measured pair inside a [`MergeDelta`], carrying its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaPair {
+    pub a: NodeId,
+    pub b: NodeId,
+    pub rtt_ms: f64,
+    /// The measurement instant (the scanner's acceptance time).
+    pub measured_at: SimTime,
+    /// Which shard measured the pair, in which scan round.
+    pub lineage: Lineage,
 }
 
 impl MergeDelta {
@@ -286,6 +329,10 @@ pub struct MergedDocument {
     pub matrix: crate::matrix::RttMatrix,
     /// Measurement instants, keyed by the pair in ascending-id order.
     pub measured_at_ns: HashMap<(NodeId, NodeId), u64>,
+    /// Per-pair provenance, keyed like `measured_at_ns`. Pairs whose
+    /// row carried `-` markers (or any pair in a v1 document) are
+    /// absent.
+    pub lineage: HashMap<(NodeId, NodeId), Lineage>,
     /// Coverage rows, in document (= shard id) order.
     pub shards: Vec<ShardCoverage>,
     /// The merge instant staleness was judged against.
@@ -295,15 +342,22 @@ pub struct MergedDocument {
 /// Parses a CRC-sealed merged-matrix document. Refuses corrupt seals,
 /// unknown versions, unknown nodes in matrix rows, and malformed
 /// coverage rows — loudly, with the offending line in the error.
+/// Accepts both the current v2 format (matrix rows carry shard/round
+/// lineage columns) and the legacy v1 format (no lineage; every pair
+/// loads with unknown provenance).
 pub fn parse_merged_document(text: &str) -> Result<MergedDocument, String> {
     let body = crate::checkpoint::verify_sealed(text)?;
     let mut lines = body.lines().enumerate();
     let (_, magic) = lines.next().ok_or("empty merged document")?;
-    if magic != MERGED_MAGIC {
-        return Err(format!(
-            "unsupported merged-matrix header {magic:?} (expected {MERGED_MAGIC:?})"
-        ));
-    }
+    let v2 = match magic {
+        MERGED_MAGIC => true,
+        MERGED_MAGIC_V1 => false,
+        other => {
+            return Err(format!(
+                "unsupported merged-matrix header {other:?} (expected {MERGED_MAGIC:?})"
+            ))
+        }
+    };
     let (_, nodes_line) = lines.next().ok_or("missing node list")?;
     let nodes: Vec<NodeId> = nodes_line
         .strip_prefix("# nodes:")
@@ -325,6 +379,7 @@ pub fn parse_merged_document(text: &str) -> Result<MergedDocument, String> {
 
     let mut matrix = crate::matrix::RttMatrix::try_new(nodes)?;
     let mut measured_at_ns = HashMap::new();
+    let mut lineage = HashMap::new();
     let mut shards = Vec::new();
     for (lineno, line) in lines {
         let n = lineno + 1;
@@ -374,9 +429,10 @@ pub fn parse_merged_document(text: &str) -> Result<MergedDocument, String> {
                 });
             }
             "m" => {
-                if fields.len() != 5 {
+                let want = if v2 { 7 } else { 5 };
+                if fields.len() != want {
                     return Err(format!(
-                        "line {n}: matrix row has {} fields, expected 5",
+                        "line {n}: matrix row has {} fields, expected {want}",
                         fields.len()
                     ));
                 }
@@ -396,6 +452,20 @@ pub fn parse_merged_document(text: &str) -> Result<MergedDocument, String> {
                     .try_set(a, b, rtt)
                     .map_err(|e| format!("line {n}: {e}"))?;
                 measured_at_ns.insert(ordered(a, b), t_ns);
+                if v2 {
+                    match (fields[5], fields[6]) {
+                        ("-", "-") => {}
+                        (shard, round) => {
+                            let shard: u32 = shard.parse().map_err(|_| {
+                                format!("line {n}: invalid lineage shard {shard:?}")
+                            })?;
+                            let round: u64 = round.parse().map_err(|_| {
+                                format!("line {n}: invalid lineage round {round:?}")
+                            })?;
+                            lineage.insert(ordered(a, b), Lineage { shard, round });
+                        }
+                    }
+                }
             }
             kind => return Err(format!("line {n}: unknown row kind {kind:?}")),
         }
@@ -403,6 +473,7 @@ pub fn parse_merged_document(text: &str) -> Result<MergedDocument, String> {
     Ok(MergedDocument {
         matrix,
         measured_at_ns,
+        lineage,
         shards,
         now_ns,
     })
@@ -448,6 +519,7 @@ pub fn merge_checkpoints(
     let owned = partition_pairs(&nodes, sorted.len());
     let mut matrix = crate::matrix::RttMatrix::new(nodes);
     let mut measured_at = HashMap::new();
+    let mut lineage = HashMap::new();
     let mut shards = Vec::with_capacity(sorted.len());
     for ((e, s), owned) in sorted.iter().zip(&parsed).zip(&owned) {
         let mut covered = 0;
@@ -460,6 +532,13 @@ pub fn merge_checkpoints(
             };
             matrix.set(a, b, rtt);
             measured_at.insert(ordered(a, b), t);
+            lineage.insert(
+                ordered(a, b),
+                Lineage {
+                    shard: e.0,
+                    round: s.measured_round(a, b).unwrap_or(0),
+                },
+            );
             covered += 1;
             if now.since(t) >= staleness {
                 stale += 1;
@@ -482,6 +561,7 @@ pub fn merge_checkpoints(
     Ok(MergeOutcome {
         matrix,
         measured_at,
+        lineage,
         shards,
         now,
     })
@@ -934,7 +1014,7 @@ impl Supervisor {
             statuses.push(slot.status.tag());
             match &slot.scanner {
                 Some(s) => {
-                    emit_since(s, &slot.owned, slot.delta_mark, &mut pairs);
+                    emit_since(s, slot.id, &slot.owned, slot.delta_mark, &mut pairs);
                     slot.delta_mark = Some(now);
                 }
                 None => {
@@ -945,9 +1025,28 @@ impl Supervisor {
                     // A refused checkpoint contributes nothing here;
                     // restore() handles (and traces) the corruption.
                     if let Ok(s) = Scanner::from_checkpoint(&slot.checkpoint) {
-                        emit_since(&s, &slot.owned, slot.delta_mark, &mut pairs);
+                        emit_since(&s, slot.id, &slot.owned, slot.delta_mark, &mut pairs);
                     }
                 }
+            }
+        }
+        if self.obs.is_tracing() {
+            // One provenance record per drained pair, stamped at the
+            // drain instant (the measurement's own time may predate
+            // earlier events; the event log must stay monotone).
+            for p in &pairs {
+                self.obs.event(
+                    names::LINEAGE_PAIR,
+                    now.as_nanos(),
+                    vec![
+                        ("a", Value::U64(p.a.0 as u64)),
+                        ("b", Value::U64(p.b.0 as u64)),
+                        ("shard", Value::U64(u64::from(p.lineage.shard))),
+                        ("round", Value::U64(p.lineage.round)),
+                        ("seq", Value::U64(self.delta_seq)),
+                        ("t_meas", Value::U64(p.measured_at.as_nanos())),
+                    ],
+                );
             }
         }
         MergeDelta {
@@ -960,19 +1059,30 @@ impl Supervisor {
 }
 
 /// Pushes every owned pair with a measurement at or after `mark` (all
-/// of them when `mark` is `None`) onto `out`, in partition order.
+/// of them when `mark` is `None`) onto `out`, in partition order, each
+/// stamped with the owning shard and the scanner's round of record.
 fn emit_since(
     s: &Scanner,
+    shard: u32,
     owned: &[(NodeId, NodeId)],
     mark: Option<SimTime>,
-    out: &mut Vec<(NodeId, NodeId, f64, SimTime)>,
+    out: &mut Vec<DeltaPair>,
 ) {
     for &(a, b) in owned {
         let (Some(rtt), Some(t)) = (s.matrix().get(a, b), s.measured_at(a, b)) else {
             continue;
         };
         if mark.is_none_or(|m| t >= m) {
-            out.push((a, b, rtt, t));
+            out.push(DeltaPair {
+                a,
+                b,
+                rtt_ms: rtt,
+                measured_at: t,
+                lineage: Lineage {
+                    shard,
+                    round: s.measured_round(a, b).unwrap_or(0),
+                },
+            });
         }
     }
 }
@@ -1006,9 +1116,14 @@ mod tests {
         let mut measured_at = HashMap::new();
         measured_at.insert((NodeId(0), NodeId(1)), SimTime(1_000));
         measured_at.insert((NodeId(1), NodeId(2)), SimTime(2_000));
+        // One pair with provenance, one without: both column forms
+        // must round-trip.
+        let mut lineage = HashMap::new();
+        lineage.insert((NodeId(0), NodeId(1)), Lineage { shard: 0, round: 4 });
         let outcome = MergeOutcome {
             matrix,
             measured_at,
+            lineage,
             shards: vec![
                 ShardCoverage {
                     shard: 0,
@@ -1040,6 +1155,11 @@ mod tests {
         assert_eq!(parsed.shards, outcome.shards);
         assert_eq!(parsed.measured_at_ns[&(NodeId(0), NodeId(1))], 1_000);
         assert_eq!(parsed.measured_at_ns[&(NodeId(1), NodeId(2))], 2_000);
+        assert_eq!(
+            parsed.lineage.get(&(NodeId(0), NodeId(1))),
+            Some(&Lineage { shard: 0, round: 4 })
+        );
+        assert_eq!(parsed.lineage.get(&(NodeId(1), NodeId(2))), None);
         // Re-rendering the parsed state is a byte-identical fixed point.
         let again = MergeOutcome {
             matrix: parsed.matrix.clone(),
@@ -1048,6 +1168,7 @@ mod tests {
                 .iter()
                 .map(|(&k, &v)| (k, SimTime(v)))
                 .collect(),
+            lineage: parsed.lineage.clone(),
             shards: parsed.shards.clone(),
             now: SimTime(parsed.now_ns),
         }
@@ -1065,6 +1186,7 @@ mod tests {
             MergeOutcome {
                 matrix,
                 measured_at,
+                lineage: HashMap::new(),
                 shards: vec![],
                 now: SimTime(9),
             }
@@ -1075,12 +1197,13 @@ mod tests {
         corrupt[5] ^= 0x01;
         assert!(parse_merged_document(&String::from_utf8(corrupt).unwrap()).is_err());
         // An unknown version inside a valid seal is still refused.
-        let v2 = crate::checkpoint::seal(
-            "# ting merged matrix v2\n# nodes: 0 1\n# now_ns: 9\n".to_owned(),
+        let v3 = crate::checkpoint::seal(
+            "# ting merged matrix v3\n# nodes: 0 1\n# now_ns: 9\n".to_owned(),
         );
-        let err = parse_merged_document(&v2).unwrap_err();
+        let err = parse_merged_document(&v3).unwrap_err();
         assert!(err.contains("unsupported merged-matrix header"), "{err}");
-        // Matrix rows naming unknown nodes error with the line number.
+        // Matrix rows naming unknown nodes error with the line number
+        // (legacy v1 documents still parse, without lineage columns).
         let bad = crate::checkpoint::seal(
             "# ting merged matrix v1\n# nodes: 0 1\n# now_ns: 9\nm\t0\t7\t3.5\t1\n".to_owned(),
         );
@@ -1098,6 +1221,17 @@ mod tests {
             "# ting merged matrix v1\n# nodes: 0 1\n# now_ns: 9\ns\t0\tlive\t1\n".to_owned(),
         );
         assert!(parse_merged_document(&bad).is_err());
+        // A v2 matrix row must carry both lineage columns, well-formed.
+        let bad = crate::checkpoint::seal(
+            "# ting merged matrix v2\n# nodes: 0 1\n# now_ns: 9\nm\t0\t1\t3.5\t1\n".to_owned(),
+        );
+        assert!(parse_merged_document(&bad).is_err());
+        let bad = crate::checkpoint::seal(
+            "# ting merged matrix v2\n# nodes: 0 1\n# now_ns: 9\nm\t0\t1\t3.5\t1\t-\t7\n"
+                .to_owned(),
+        );
+        let err = parse_merged_document(&bad).unwrap_err();
+        assert!(err.contains("invalid lineage shard"), "{err}");
     }
 
     #[test]

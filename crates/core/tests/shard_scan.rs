@@ -384,9 +384,13 @@ fn delta_stream_replays_to_the_full_merge() {
         let delta = sup.take_delta(net.sim.now());
         seqs.push(delta.seq);
         assert_eq!(delta.statuses, vec!["live"; 3]);
-        for (a, b, rtt, t) in delta.pairs {
-            matrix.set(a, b, rtt);
-            measured_at.insert((a, b), t);
+        for p in delta.pairs {
+            matrix.set(p.a, p.b, p.rtt_ms);
+            measured_at.insert((p.a, p.b), p.measured_at);
+            assert!(
+                p.lineage.round >= 1,
+                "live-scanned pairs must carry a real lineage round"
+            );
         }
     }
     assert_eq!(seqs, vec![1, 2, 3, 4], "drains are sequence-numbered");
@@ -394,9 +398,13 @@ fn delta_stream_replays_to_the_full_merge() {
     // Draining again may re-emit watermark-boundary measurements
     // (inclusive filter), but applying them must change nothing.
     let matrix_before = matrix.to_tsv();
-    for (a, b, rtt, t) in sup.take_delta(net.sim.now()).pairs {
-        assert_eq!(measured_at.get(&(a, b)), Some(&t), "only boundary re-emits");
-        matrix.set(a, b, rtt);
+    for p in sup.take_delta(net.sim.now()).pairs {
+        assert_eq!(
+            measured_at.get(&(p.a, p.b)),
+            Some(&p.measured_at),
+            "only boundary re-emits"
+        );
+        matrix.set(p.a, p.b, p.rtt_ms);
     }
     assert_eq!(matrix.to_tsv(), matrix_before, "re-application is a no-op");
 
@@ -419,11 +427,7 @@ fn downed_shard_emits_its_checkpoint_once_per_outage() {
     sup.inject_crash(1, net.sim.now());
 
     let owned = partition_pairs(&nodes, 3);
-    let has_shard1 = |d: &MergeDelta| {
-        d.pairs
-            .iter()
-            .any(|&(a, b, _, _)| owned[1].contains(&(a, b)))
-    };
+    let has_shard1 = |d: &MergeDelta| d.pairs.iter().any(|p| owned[1].contains(&(p.a, p.b)));
     let d1 = sup.take_delta(net.sim.now());
     assert_eq!(d1.statuses[1], "restarting");
     assert!(

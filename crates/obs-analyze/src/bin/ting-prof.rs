@@ -1,10 +1,12 @@
 //! `ting-prof`: analyze `ting-obs-v1` traces and gate bench baselines.
 //!
 //! ```text
-//! ting-prof lint   <trace.jsonl>                  # exit 1 on issues
-//! ting-prof report <trace.jsonl>                  # deterministic profile
-//! ting-prof flame  <trace.jsonl> [out.folded]     # folded stacks
-//! ting-prof diff   <base.json> <current.json> [--tolerance 0.10]
+//! ting-prof lint    <trace.jsonl>                  # exit 1 on issues
+//! ting-prof report  <trace.jsonl>                  # deterministic profile
+//! ting-prof flame   <trace.jsonl> [out.folded]     # folded stacks
+//! ting-prof diff    <base.json> <current.json> [--tolerance 0.10]
+//! ting-prof lineage <trace.jsonl> <x> <y>          # causal chain for a pair
+//! ting-prof slo     <trace.jsonl> [--fail-on <name>]  # breach timeline
 //! ```
 
 use std::process::ExitCode;
@@ -21,7 +23,7 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
-    let usage = "usage: ting-prof <lint|report|flame|diff> ... (see --help)";
+    let usage = "usage: ting-prof <lint|report|flame|diff|lineage|slo> ... (see --help)";
     let cmd = args.first().map(String::as_str).ok_or(usage)?;
     match cmd {
         "lint" => {
@@ -87,6 +89,51 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
+            })
+        }
+        "lineage" => {
+            let doc = load_trace(args.get(1).ok_or("lineage: missing trace path")?)?;
+            let x: u64 = args
+                .get(2)
+                .ok_or("lineage: missing node x")?
+                .parse()
+                .map_err(|e| format!("lineage: node x: {e}"))?;
+            let y: u64 = args
+                .get(3)
+                .ok_or("lineage: missing node y")?
+                .parse()
+                .map_err(|e| format!("lineage: node y: {e}"))?;
+            print!("{}", obs_analyze::render_lineage(&doc, x, y));
+            Ok(if obs_analyze::trace_pair(&doc, x, y).is_some() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        "slo" => {
+            let doc = load_trace(args.get(1).ok_or("slo: missing trace path")?)?;
+            let mut fail_on: Vec<&str> = Vec::new();
+            let mut rest = args[2..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--fail-on" => {
+                        fail_on.push(rest.next().ok_or("--fail-on needs an SLO name")?);
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            print!("{}", obs_analyze::render_slo(&doc));
+            let tripped: Vec<&&str> = fail_on
+                .iter()
+                .filter(|name| obs_analyze::breached(&doc, name))
+                .collect();
+            for name in &tripped {
+                eprintln!("ting-prof: SLO {name:?} breached in this trace");
+            }
+            Ok(if tripped.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             })
         }
         "--help" | "-h" | "help" => {

@@ -16,20 +16,29 @@
 //!   failure/quarantine involvement;
 //! * [`diff`] — the `BENCH_scan.json` regression gate CI runs, built on
 //!   deterministic virtual-time phase quantiles;
-//! * [`report`] — the deterministic human-readable profile.
+//! * [`report`] — the deterministic human-readable profile;
+//! * [`lineage`] — a served pair's causal chain: probe → drain →
+//!   coalesce folds → first serving generation, plus owning-shard
+//!   outages (the `ting-prof lineage` walk);
+//! * [`slo`] — SLO breach windows and the `slo.*` gauge family (the
+//!   `ting-prof slo` report and CI's no-fault staleness gate).
 
 pub mod attrib;
 pub mod diff;
 pub mod flame;
 pub mod json;
+pub mod lineage;
 pub mod lint;
 pub mod parse;
 pub mod report;
+pub mod slo;
 pub mod tree;
 
 pub use attrib::{per_relay, RelayAttribution};
 pub use diff::{diff, parse_bench, BenchDoc, DiffReport};
 pub use flame::folded_stacks;
+pub use lineage::{render_lineage, trace_pair, LineageChain};
 pub use lint::{lint, LintIssue};
 pub use parse::{parse_document, ParseError};
+pub use slo::{breached, breaches, render_slo, Breach};
 pub use tree::{build, critical_path, pair_self_times, Trace};

@@ -32,6 +32,14 @@ pub fn render(doc: &Document, trace: &Trace) -> String {
         doc.events.len()
     );
 
+    // ── Gauges: last-written values at export, in export order. ──
+    if !doc.gauges.is_empty() {
+        let _ = writeln!(out, "\n## gauges ({})", doc.gauges.len());
+        for (name, value) in &doc.gauges {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+
     // ── Per-round summaries. ──
     for (i, round) in trace.rounds.iter().enumerate() {
         let _ = writeln!(

@@ -8,9 +8,9 @@
 //! explicitly: an event name outside the registry is a lint failure.
 
 use netsim::{NodeId, SimDuration, SimTime};
-use oracle::{Journal, Pipeline, PipelineConfig, ServingState, TtlPolicy};
-use ting::obs::{config_hash, names, ExportMeta, Obs, ObsConfig};
-use ting::shard::{Supervisor, SupervisorConfig};
+use oracle::{Journal, Pipeline, PipelineConfig, ServingState, SloConfig, TtlPolicy};
+use ting::obs::{config_hash, names, ExportMeta, Lineage, Obs, ObsConfig};
+use ting::shard::{DeltaPair, MergeDelta, Supervisor, SupervisorConfig};
 use ting::{ScannerConfig, TingConfig};
 use tor_sim::TorNetworkBuilder;
 
@@ -24,6 +24,20 @@ fn pipeline_config() -> PipelineConfig {
         publish_interval: SimDuration(0),
         staleness: ScannerConfig::default().staleness,
         ttl: TtlPolicy::new(SimDuration::from_hours(1), SimDuration::from_hours(24)).unwrap(),
+        // Only the staleness SLO has a real objective: the fixture
+        // walks the TTL ladder, so its breach must begin and end; the
+        // other three (objective 0 = breach only when *everything*
+        // fails) stay quiet.
+        slo: Some(SloConfig {
+            bucket: SimDuration::from_hours(1),
+            buckets: 24,
+            coverage_objective_ppm: 0,
+            progress_objective_ppm: 0,
+            latency_budget: SimDuration::from_hours(1),
+            latency_objective_ppm: 0,
+            staleness_objective_ppm: 990_000,
+            burn_threshold_milli: 1000,
+        }),
     }
 }
 
@@ -77,18 +91,42 @@ fn traced_pipeline_run(tag: &str) -> String {
     assert_eq!(p.state(), ServingState::Fresh);
 
     // Walk the TTL ladder in virtual time: soft boundary (→ `Stale`),
-    // hard boundary (→ `Degraded`) — transitions without traffic.
+    // hard boundary (→ `Degraded`) — transitions without traffic. The
+    // off-ladder judgments burn the 99% staleness budget, so
+    // `slo.breach.begin` fires on the way down.
     let newest = p.reader().snapshot().freshness_ns().unwrap();
     p.tick(SimTime(newest + SimDuration::from_hours(1).as_nanos()))
         .unwrap();
     assert_eq!(p.state(), ServingState::Stale);
-    let died_at = SimTime(newest + SimDuration::from_hours(24).as_nanos());
-    p.tick(died_at).unwrap();
+    let degraded_at = SimTime(newest + SimDuration::from_hours(24).as_nanos());
+    p.tick(degraded_at).unwrap();
     assert_eq!(p.state(), ServingState::Degraded);
+
+    // Fresh data a full SLO window later: the burnt buckets rotate
+    // out, the judgment lands `Fresh`, and the breach ends
+    // (`slo.breach.end`) — the span must close before the kill or the
+    // trace would (correctly) lint as leaking it.
+    let revived_at = SimTime(degraded_at.as_nanos() + SimDuration::from_hours(25).as_nanos());
+    p.offer(MergeDelta {
+        seq: 3,
+        pairs: vec![DeltaPair {
+            a: nodes[0],
+            b: nodes[1],
+            rtt_ms: 42.0,
+            measured_at: revived_at,
+            lineage: Lineage { shard: 0, round: 3 },
+        }],
+        statuses: vec!["live"; SHARDS],
+        now: revived_at,
+    });
+    p.tick(revived_at).unwrap();
+    assert_eq!(p.state(), ServingState::Fresh);
 
     // Kill the serving process and recover from the journal
     // (`oracle.pipeline.recover`); the resume instant is past the hard
-    // TTL, so the recovered pipeline re-judges straight to `Degraded`.
+    // TTL again, so the recovered pipeline re-judges straight to
+    // `Degraded`.
+    let died_at = SimTime(revived_at.as_nanos() + SimDuration::from_hours(24).as_nanos());
     drop(p);
     let (p, recovered) = Pipeline::recover(
         nodes,
@@ -132,6 +170,9 @@ fn pipeline_trace_lints_clean_and_covers_every_pipeline_event() {
         names::ORACLE_PIPELINE_PUBLISH_END,
         names::ORACLE_PIPELINE_RECOVER,
         names::ORACLE_STALE_TRANSITION,
+        names::LINEAGE_PAIR,
+        names::SLO_BREACH_BEGIN,
+        names::SLO_BREACH_END,
     ] {
         assert!(count(name) >= 1, "fixture never emitted {name:?}");
     }
@@ -140,8 +181,13 @@ fn pipeline_trace_lints_clean_and_covers_every_pipeline_event() {
         count(names::ORACLE_PIPELINE_PUBLISH_END),
         "publish spans must balance"
     );
-    // The full ladder was walked: bootstrap→fresh→stale→degraded.
-    assert!(count(names::ORACLE_STALE_TRANSITION) >= 3);
+    assert_eq!(
+        count(names::SLO_BREACH_BEGIN),
+        count(names::SLO_BREACH_END),
+        "breach spans must balance"
+    );
+    // The full ladder was walked: bootstrap→fresh→stale→degraded→fresh.
+    assert!(count(names::ORACLE_STALE_TRANSITION) >= 4);
 }
 
 /// The enforcement direction: an emitter whose name is not in

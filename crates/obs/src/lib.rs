@@ -25,15 +25,19 @@
 
 pub mod export;
 pub mod hist;
+pub mod lineage;
 pub mod measure;
 pub mod names;
+pub mod slo;
 
 pub use export::{
     config_hash, fnv1a64, mode_name, Document, EventRecord, ExportMeta, HistRecord, HistSummary,
     FORMAT,
 };
 pub use hist::LogHistogram;
+pub use lineage::{Lineage, Origin};
 pub use measure::{MeasurementMetrics, MeasurementSnapshot};
+pub use slo::{SloEngine, SloSpec, SloTotals, WindowSpec};
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -138,14 +142,20 @@ impl Hist {
 }
 
 /// Converts a millisecond duration to the integer microseconds the
-/// histograms record. Non-finite and negative inputs clamp to 0 —
-/// a histogram must never panic on a weird measurement.
+/// histograms record, saturating deterministically at both ends: NaN
+/// and negative inputs clamp to 0, while +∞ and any finite value
+/// whose microsecond count exceeds `u64::MAX` clamp to `u64::MAX` —
+/// a histogram must never panic or wrap on a weird measurement.
 #[inline]
 pub fn ms_to_us(ms: f64) -> u64 {
-    if ms.is_finite() && ms > 0.0 {
-        (ms * 1000.0).round() as u64
+    if ms.is_nan() || ms <= 0.0 {
+        return 0;
+    }
+    let us = (ms * 1000.0).round();
+    if us >= u64::MAX as f64 {
+        u64::MAX
     } else {
-        0
+        us as u64
     }
 }
 
@@ -430,6 +440,11 @@ mod tests {
         assert_eq!(ms_to_us(0.0004), 0);
         assert_eq!(ms_to_us(-3.0), 0);
         assert_eq!(ms_to_us(f64::NAN), 0);
-        assert_eq!(ms_to_us(f64::INFINITY), 0);
+        assert_eq!(ms_to_us(f64::NEG_INFINITY), 0);
+        // Too big for u64 microseconds: saturate high, don't wrap.
+        assert_eq!(ms_to_us(f64::INFINITY), u64::MAX);
+        assert_eq!(ms_to_us(f64::MAX), u64::MAX);
+        assert_eq!(ms_to_us(2e16), u64::MAX); // 2e19 µs > u64::MAX
+        assert_eq!(ms_to_us(1e15), 1_000_000_000_000_000_000); // still exact
     }
 }

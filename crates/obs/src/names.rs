@@ -106,6 +106,18 @@ pub const ORACLE_PIPELINE_COALESCE: &str = "oracle.pipeline.coalesce";
 pub const ORACLE_PIPELINE_RECOVER: &str = "oracle.pipeline.recover";
 pub const ORACLE_STALE_TRANSITION: &str = "oracle.stale.transition";
 
+// ── Lineage and SLO events ──
+// `lineage.pair` is the per-measurement provenance record: one point
+// event per pair drained into a merge delta, carrying the shard and
+// scan round that produced the estimate plus the delta seq it rode.
+// The breach pair brackets one continuous SLO violation; the SLO's
+// name travels in a `slo` string field so one registered event family
+// covers every declared objective. The gauge family beside them
+// (`slo.{name}.{good,bad,burn_milli}`) never enters the event log.
+pub const LINEAGE_PAIR: &str = "lineage.pair";
+pub const SLO_BREACH_BEGIN: &str = "slo.breach.begin";
+pub const SLO_BREACH_END: &str = "slo.breach.end";
+
 /// Shorthand for registry rows.
 const fn point(name: &'static str) -> EventSpec {
     EventSpec {
@@ -172,6 +184,9 @@ pub const REGISTRY: &[EventSpec] = &[
     point(ORACLE_PIPELINE_COALESCE),
     point(ORACLE_PIPELINE_RECOVER),
     point(ORACLE_STALE_TRANSITION),
+    point(LINEAGE_PAIR),
+    begin(SLO_BREACH_BEGIN, SLO_BREACH_END),
+    end(SLO_BREACH_END, SLO_BREACH_BEGIN),
 ];
 
 /// Looks a name up in the registry.

@@ -1,12 +1,15 @@
-//! Property tests for the log-bucketed histogram.
+//! Property tests for the log-bucketed histogram and the `ms_to_us`
+//! clamp in front of it.
 //!
 //! The scanner's per-phase statistics depend on four algebraic
 //! guarantees: merge is associative and commutative, counts are
 //! conserved when a recording stream is split across histograms and
 //! merged back, every bucket brackets the values it absorbed, and
-//! quantiles are monotone in the requested rank.
+//! quantiles are monotone in the requested rank. `ms_to_us` must
+//! additionally never panic, saturate deterministically at both ends,
+//! and stay monotone so ordering survives the unit conversion.
 
-use obs::LogHistogram;
+use obs::{ms_to_us, LogHistogram};
 use proptest::prelude::*;
 
 fn hist_of(grouping_bits: u32, values: &[u64]) -> LogHistogram {
@@ -88,5 +91,43 @@ proptest! {
             }
             last = Some(quantile);
         }
+    }
+
+    /// Any bit pattern — NaN, ±∞, subnormals, negatives — converts
+    /// without panicking, and garbage lands on the deterministic
+    /// clamp values.
+    #[test]
+    fn ms_to_us_total_on_all_bit_patterns(bits in any::<u64>()) {
+        let ms = f64::from_bits(bits);
+        let us = ms_to_us(ms);
+        if ms.is_nan() || ms <= 0.0 {
+            prop_assert_eq!(us, 0);
+        } else if ms >= 2e16 {
+            // 2e16 ms = 2e19 µs > u64::MAX µs: must saturate high.
+            prop_assert_eq!(us, u64::MAX);
+        }
+        // Recording the result must never panic either.
+        let mut h = LogHistogram::new(5);
+        h.record(us);
+        prop_assert_eq!(h.count(), 1);
+    }
+
+    /// Monotone: a longer duration never converts to fewer µs, so
+    /// histogram ordering survives the unit conversion.
+    #[test]
+    fn ms_to_us_is_monotone(a in any::<f64>(), b in any::<f64>()) {
+        if a.is_nan() || b.is_nan() {
+            prop_assert_eq!(ms_to_us(f64::NAN), 0);
+        } else {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(ms_to_us(lo) <= ms_to_us(hi));
+        }
+    }
+
+    /// In the exact integer range, the conversion is the plain
+    /// ×1000 the histograms expect.
+    #[test]
+    fn ms_to_us_scales_exact_integers(ms in 1u32..=1_000_000) {
+        prop_assert_eq!(ms_to_us(f64::from(ms)), u64::from(ms) * 1000);
     }
 }

@@ -32,10 +32,10 @@ pub mod snapshot;
 pub mod ttl;
 
 pub use journal::{Journal, Recovered};
-pub use pipeline::{GuardedPoint, Pipeline, PipelineConfig};
+pub use pipeline::{GuardedPoint, Pipeline, PipelineConfig, SloConfig};
 pub use service::{Oracle, OracleReader};
 pub use snapshot::{
-    DetourAnswer, Neighbor, PointAnswer, QueryError, ShardSummary, Snapshot, SnapshotMeta,
-    SnapshotSource,
+    DetourAnswer, KNearestAnswer, Neighbor, PointAnswer, QueryError, ShardSummary, Snapshot,
+    SnapshotMeta, SnapshotSource,
 };
 pub use ttl::{ServingState, TtlPolicy};

@@ -23,10 +23,11 @@
 
 use crate::journal::{Journal, Recovered};
 use crate::service::{Oracle, OracleReader};
-use crate::snapshot::{DetourAnswer, Neighbor, PointAnswer, QueryError, Snapshot};
+use crate::snapshot::{DetourAnswer, KNearestAnswer, PointAnswer, QueryError, Snapshot};
 use crate::ttl::{ServingState, TtlPolicy};
 use netsim::{NodeId, SimDuration, SimTime};
-use obs::{names, Counter, Hist, Obs, Value};
+use obs::slo::{SLO_COVERAGE, SLO_PUBLISH_LATENCY, SLO_SHARD_PROGRESS, SLO_STALENESS};
+use obs::{names, Counter, Hist, Lineage, Obs, SloEngine, SloSpec, Value, WindowSpec};
 use std::collections::{HashMap, VecDeque};
 use ting::shard::{
     parse_merged_document, partition_pairs, MergeDelta, MergeOutcome, ShardCoverage,
@@ -49,6 +50,56 @@ pub struct PipelineConfig {
     pub staleness: SimDuration,
     /// Snapshot-level freshness SLOs.
     pub ttl: TtlPolicy,
+    /// Live SLO evaluation over the control loop itself; `None` runs
+    /// the pipeline exactly as before (the engine is observational —
+    /// it never changes what publishes or serves).
+    pub slo: Option<SloConfig>,
+}
+
+/// Window geometry and objectives for the pipeline's live SLOs. All
+/// integer fields so [`PipelineConfig`] stays `Copy + Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Width of one aggregation bucket in virtual time.
+    pub bucket: SimDuration,
+    /// Ring length; the window spans `bucket × buckets`.
+    pub buckets: u32,
+    /// Pair-coverage objective at publish (measured / owned), ppm.
+    pub coverage_objective_ppm: u32,
+    /// Per-shard scan-progress objective (live shards / all), ppm.
+    pub progress_objective_ppm: u32,
+    /// Offer→publish latency budget per delta.
+    pub latency_budget: SimDuration,
+    /// Fraction of deltas published within the budget, ppm.
+    pub latency_objective_ppm: u32,
+    /// Fraction of TTL judgments landing `Fresh`, ppm — burn against
+    /// this is the staleness-budget burn of the serving ladder.
+    pub staleness_objective_ppm: u32,
+    /// Shared burn-rate threshold in milli-multiples of each budget.
+    pub burn_threshold_milli: u32,
+}
+
+impl SloConfig {
+    fn engine(&self, obs: &Obs) -> SloEngine {
+        let slo = |name, objective_ppm| SloSpec {
+            name,
+            objective_ppm,
+            burn_threshold_milli: self.burn_threshold_milli,
+        };
+        SloEngine::new(
+            obs.clone(),
+            WindowSpec {
+                bucket_ns: self.bucket.as_nanos(),
+                buckets: self.buckets,
+            },
+            &[
+                slo(SLO_COVERAGE, self.coverage_objective_ppm),
+                slo(SLO_SHARD_PROGRESS, self.progress_objective_ppm),
+                slo(SLO_PUBLISH_LATENCY, self.latency_objective_ppm),
+                slo(SLO_STALENESS, self.staleness_objective_ppm),
+            ],
+        )
+    }
 }
 
 /// A point answer qualified by the serving state it was produced in.
@@ -95,6 +146,9 @@ pub struct Pipeline {
     /// Accumulated dataset: every pair any delta ever carried.
     matrix: RttMatrix,
     measured_at: HashMap<(NodeId, NodeId), SimTime>,
+    /// Per-pair provenance mirroring `measured_at`'s key set for pairs
+    /// that arrived through deltas (recovered v1 documents may lack it).
+    lineage: HashMap<(NodeId, NodeId), Lineage>,
     /// Shard status tags from the most recent delta.
     statuses: Vec<&'static str>,
     journal: Option<Journal>,
@@ -108,6 +162,11 @@ pub struct Pipeline {
     state: ServingState,
     /// Dataset age at the last judgment, cited in refusals.
     age_ns: Option<u64>,
+    /// Highest delta sequence folded into the served generation —
+    /// stamped on the publish trace so a lineage walk can tie a pair's
+    /// drain back to the generation that first served it.
+    last_seq: u64,
+    slo: Option<SloEngine>,
     obs: Obs,
     metrics: Metrics,
 }
@@ -137,12 +196,14 @@ impl Pipeline {
         let metrics = Metrics::new(&obs);
         obs.set_gauge("oracle.stale.state", ServingState::Degraded.gauge());
         obs.set_gauge("oracle.pipeline.generation", 1);
+        let slo = config.slo.map(|c| c.engine(&obs));
         Pipeline {
             config,
             nodes,
             owned,
             matrix,
             measured_at: HashMap::new(),
+            lineage: HashMap::new(),
             statuses: vec!["live"; shards],
             journal,
             oracle,
@@ -151,6 +212,8 @@ impl Pipeline {
             last_publish: None,
             state: ServingState::Degraded,
             age_ns: None,
+            last_seq: 0,
+            slo,
             obs,
             metrics,
         }
@@ -189,6 +252,7 @@ impl Pipeline {
                 .iter()
                 .map(|(&k, &v)| (k, SimTime(v)))
                 .collect();
+            p.lineage = parsed.lineage.clone();
             p.statuses = parsed.shards.iter().map(|c| c.status).collect();
             let snapshot = Snapshot::from_merged_document(&doc)?;
             p.oracle
@@ -228,6 +292,11 @@ impl Pipeline {
     /// supervisor outrunning the publisher is slowed by nothing.
     pub fn offer(&mut self, delta: MergeDelta) {
         self.metrics.deltas.inc();
+        if let Some(slo) = &mut self.slo {
+            let live = delta.statuses.iter().filter(|s| **s == "live").count() as u64;
+            let total = delta.statuses.len() as u64;
+            slo.observe(SLO_SHARD_PROGRESS, delta.now.as_nanos(), live, total - live);
+        }
         if self.obs.is_tracing() {
             self.obs.event(
                 names::ORACLE_PIPELINE_DELTA,
@@ -277,6 +346,9 @@ impl Pipeline {
             None
         };
         self.rejudge(now);
+        if let Some(slo) = &mut self.slo {
+            slo.evaluate(now.as_nanos());
+        }
         Ok(published)
     }
 
@@ -291,11 +363,41 @@ impl Pipeline {
         let mut batch_pairs: u64 = 0;
         while let Some(delta) = self.queue.pop_front() {
             batch_pairs += delta.pairs.len() as u64;
-            for (a, b, rtt, t) in delta.pairs {
-                self.matrix.set(a, b, rtt);
-                self.measured_at.insert(ordered(a, b), t);
+            if let Some(slo) = &mut self.slo {
+                // One observation per delta: did it reach a served
+                // generation within its offer→publish budget?
+                let waited = now.as_nanos().saturating_sub(delta.now.as_nanos());
+                let on_time = waited
+                    <= self
+                        .config
+                        .slo
+                        .expect("engine implies config")
+                        .latency_budget
+                        .as_nanos();
+                slo.observe(
+                    SLO_PUBLISH_LATENCY,
+                    now.as_nanos(),
+                    on_time as u64,
+                    !on_time as u64,
+                );
             }
+            for p in delta.pairs {
+                self.matrix.set(p.a, p.b, p.rtt_ms);
+                self.measured_at.insert(ordered(p.a, p.b), p.measured_at);
+                self.lineage.insert(ordered(p.a, p.b), p.lineage);
+            }
+            self.last_seq = self.last_seq.max(delta.seq);
             self.statuses = delta.statuses;
+        }
+        if let Some(slo) = &mut self.slo {
+            let owned: u64 = self.owned.iter().map(|o| o.len() as u64).sum();
+            let covered = self.measured_at.len() as u64;
+            slo.observe(
+                SLO_COVERAGE,
+                now.as_nanos(),
+                covered,
+                owned.saturating_sub(covered),
+            );
         }
         self.obs.set_gauge("oracle.pipeline.queue_depth", 0);
 
@@ -325,6 +427,7 @@ impl Pipeline {
                 vec![
                     ("generation", Value::U64(next)),
                     ("batch_pairs", Value::U64(batch_pairs)),
+                    ("last_seq", Value::U64(self.last_seq)),
                 ],
             );
         }
@@ -368,6 +471,7 @@ impl Pipeline {
         MergeOutcome {
             matrix: self.matrix.clone(),
             measured_at: self.measured_at.clone(),
+            lineage: self.lineage.clone(),
             shards,
             now,
         }
@@ -379,6 +483,12 @@ impl Pipeline {
         let freshness = self.oracle.snapshot().freshness_ns();
         self.age_ns = freshness.map(|f| now.as_nanos().saturating_sub(f));
         let next = self.config.ttl.judge(freshness, now.as_nanos());
+        if let Some(slo) = &mut self.slo {
+            // Every judgment burns the staleness budget when it lands
+            // anywhere below `Fresh` on the ladder.
+            let fresh = next == ServingState::Fresh;
+            slo.observe(SLO_STALENESS, now.as_nanos(), fresh as u64, !fresh as u64);
+        }
         if next != self.state {
             if self.obs.is_tracing() {
                 self.obs.event(
@@ -412,7 +522,7 @@ impl Pipeline {
 
     /// Guarded k-nearest: refuses outright in `Degraded` mode — a
     /// stale ordering is a silent wrong answer.
-    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<Vec<Neighbor>, QueryError> {
+    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<KNearestAnswer, QueryError> {
         self.refuse_if_degraded()?;
         self.oracle.k_nearest(x, k)
     }
@@ -449,6 +559,12 @@ impl Pipeline {
         self.queue.len()
     }
 
+    /// Windowed totals for one live SLO as of the last `tick`; `None`
+    /// without an [`SloConfig`] or for an unknown name.
+    pub fn slo_totals(&self, name: &str) -> Option<obs::SloTotals> {
+        self.slo.as_ref()?.totals(name)
+    }
+
     /// The served generation's sealed document, re-rendered at its own
     /// publish instant — what the chaos harness compares bit-for-bit
     /// across kill/resume boundaries.
@@ -480,10 +596,24 @@ fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 mod tests {
     use super::*;
 
+    use ting::shard::DeltaPair;
+
     fn delta(seq: u64, pairs: Vec<(NodeId, NodeId, f64, SimTime)>, now: u64) -> MergeDelta {
         MergeDelta {
             seq,
-            pairs,
+            pairs: pairs
+                .into_iter()
+                .map(|(a, b, rtt_ms, measured_at)| DeltaPair {
+                    a,
+                    b,
+                    rtt_ms,
+                    measured_at,
+                    lineage: Lineage {
+                        shard: 0,
+                        round: seq,
+                    },
+                })
+                .collect(),
             statuses: vec!["live"],
             now: SimTime(now),
         }
@@ -495,6 +625,20 @@ mod tests {
             publish_interval: SimDuration(0),
             staleness: SimDuration::from_hours(24),
             ttl: TtlPolicy::new(SimDuration::from_secs(60), SimDuration::from_secs(600)).unwrap(),
+            slo: None,
+        }
+    }
+
+    fn slo_config() -> SloConfig {
+        SloConfig {
+            bucket: SimDuration::from_secs(60),
+            buckets: 10,
+            coverage_objective_ppm: 500_000,
+            progress_objective_ppm: 990_000,
+            latency_budget: SimDuration::from_secs(30),
+            latency_objective_ppm: 990_000,
+            staleness_objective_ppm: 990_000,
+            burn_threshold_milli: 1000,
         }
     }
 
@@ -621,5 +765,61 @@ mod tests {
         let later = SimTime(1 + SimDuration::from_secs(10).as_nanos());
         assert_eq!(p.tick(later).unwrap(), Some(3));
         assert_eq!(p.queue_depth(), 0);
+    }
+
+    #[test]
+    fn slo_engine_tracks_latency_coverage_and_staleness() {
+        let mut cfg = config();
+        cfg.slo = Some(slo_config());
+        let mut p = Pipeline::new(nodes(), 1, cfg);
+        assert_eq!(p.slo_totals("nonsense"), None);
+        // One delta drained the instant it was offered: within budget.
+        p.offer(delta(1, vec![(NodeId(0), NodeId(1), 7.0, SimTime(5))], 10));
+        p.tick(SimTime(10)).unwrap();
+        let lat = p.slo_totals(SLO_PUBLISH_LATENCY).unwrap();
+        assert_eq!((lat.good, lat.bad), (1, 0));
+        assert!(!lat.breaching);
+        let prog = p.slo_totals(SLO_SHARD_PROGRESS).unwrap();
+        assert_eq!((prog.good, prog.bad), (1, 0));
+        // 1 of 3 owned pairs measured: a 50% coverage objective with a
+        // 2/3 bad fraction is burning beyond its budget.
+        let cov = p.slo_totals(SLO_COVERAGE).unwrap();
+        assert_eq!((cov.good, cov.bad), (1, 2));
+        assert!(cov.breaching);
+        // The single TTL judgment landed Fresh.
+        let st = p.slo_totals(SLO_STALENESS).unwrap();
+        assert_eq!((st.good, st.bad), (1, 0));
+        assert!(!st.breaching);
+    }
+
+    #[test]
+    fn staleness_slo_burns_while_serving_degraded() {
+        let mut cfg = config();
+        cfg.slo = Some(slo_config());
+        let mut p = Pipeline::new(nodes(), 1, cfg);
+        p.offer(delta(1, vec![(NodeId(0), NodeId(1), 7.0, SimTime(0))], 0));
+        p.tick(SimTime(0)).unwrap();
+        assert!(!p.slo_totals(SLO_STALENESS).unwrap().breaching);
+        // By the hard TTL the window has slid past the healthy epoch:
+        // the judgment at `hard` lands Degraded and burns the budget.
+        let hard = SimDuration::from_secs(600).as_nanos();
+        p.tick(SimTime(hard)).unwrap();
+        assert_eq!(p.state(), ServingState::Degraded);
+        let st = p.slo_totals(SLO_STALENESS).unwrap();
+        assert_eq!((st.good, st.bad), (0, 1));
+        assert!(st.breaching);
+    }
+
+    #[test]
+    fn lineage_flows_from_delta_to_served_answer() {
+        let mut p = Pipeline::new(nodes(), 1, config());
+        p.offer(delta(4, vec![(NodeId(0), NodeId(1), 7.0, SimTime(5))], 10));
+        p.tick(SimTime(10)).unwrap();
+        let origin = p.rtt(NodeId(0), NodeId(1)).unwrap().answer.origin.unwrap();
+        // The test helper stamps `round = seq`; the pair was first
+        // served by generation 2 (bootstrap is generation 1).
+        assert_eq!((origin.shard, origin.round, origin.generation), (0, 4, 2));
+        // The document renders it, so recovery round-trips it too.
+        assert!(p.serving_document().contains("\t0\t4\n"));
     }
 }

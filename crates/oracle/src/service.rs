@@ -15,7 +15,7 @@
 //! tick per-family counters and record answered-RTT histograms under
 //! the `oracle.*` names registered in `obs::names`.
 
-use crate::snapshot::{DetourAnswer, Neighbor, PointAnswer, QueryError, Snapshot};
+use crate::snapshot::{DetourAnswer, KNearestAnswer, PointAnswer, QueryError, Snapshot};
 use netsim::NodeId;
 use obs::{names, Counter, Hist, Obs, Value};
 use std::sync::{Arc, RwLock};
@@ -186,12 +186,12 @@ impl Oracle {
     }
 
     /// Instrumented k-nearest-relay query.
-    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<Vec<Neighbor>, QueryError> {
+    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<KNearestAnswer, QueryError> {
         self.metrics.nearest.inc();
         let answer = self.snapshot().k_nearest(x, k);
         match &answer {
-            Ok(neighbors) => {
-                for n in neighbors {
+            Ok(a) => {
+                for n in &a.neighbors {
                     self.metrics.h_nearest.record_ms(n.rtt_ms);
                 }
             }
@@ -239,7 +239,7 @@ impl OracleReader {
     }
 
     /// Convenience k-nearest against the current generation.
-    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<Vec<Neighbor>, QueryError> {
+    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<KNearestAnswer, QueryError> {
         self.snapshot().k_nearest(x, k)
     }
 
@@ -342,6 +342,7 @@ mod tests {
         let doc = MergeOutcome {
             matrix: m,
             measured_at,
+            lineage: HashMap::new(),
             shards: vec![],
             now: netsim::SimTime(10_000),
         }

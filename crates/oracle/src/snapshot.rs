@@ -11,6 +11,7 @@
 //! already holds.
 
 use netsim::NodeId;
+use obs::{Lineage, Origin};
 use ting::shard::{parse_merged_document, ShardCoverage};
 use ting::{RttMatrix, RttView};
 
@@ -124,6 +125,11 @@ pub struct PointAnswer {
     pub measured_at_ns: Option<u64>,
     /// Age at the snapshot's `now_ns`, when both instants are known.
     pub age_ns: Option<u64>,
+    /// Full provenance of the served cell — the shard and scan round
+    /// that measured it plus this snapshot's generation. `None` when
+    /// the source carries no lineage (bare matrices, v1 documents) or
+    /// the pair is unmeasured.
+    pub origin: Option<Origin>,
     /// The generation that produced this answer.
     pub snapshot_version: u64,
 }
@@ -133,6 +139,20 @@ pub struct PointAnswer {
 pub struct Neighbor {
     pub node: NodeId,
     pub rtt_ms: f64,
+}
+
+/// A k-nearest ranking with the provenance a consumer needs to audit
+/// it: a ranking is only as trustworthy as its *stalest* input, so
+/// `origin` cites the oldest contributing pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KNearestAnswer {
+    /// Nearest relays, ascending by RTT, index order breaking ties.
+    pub neighbors: Vec<Neighbor>,
+    /// Provenance of the oldest pair contributing to the ranking
+    /// (first-in-ranking-order on timestamp ties). `None` when the
+    /// source carries no timestamps/lineage or the ranking is empty.
+    pub origin: Option<Origin>,
+    pub snapshot_version: u64,
 }
 
 /// A ShorTor-style via-relay answer for `x → y`.
@@ -153,6 +173,10 @@ pub struct DetourAnswer {
     /// Age of `measured_at_ns` at the snapshot's `now_ns`, when both
     /// are known — what TTL policy judges for detours.
     pub age_ns: Option<u64>,
+    /// Provenance of the *cited* pair: the older leg for a via answer,
+    /// the direct pair otherwise — the same selection as
+    /// `measured_at_ns`. `None` when the source carries no lineage.
+    pub origin: Option<Origin>,
     pub snapshot_version: u64,
 }
 
@@ -183,6 +207,13 @@ impl DetourAnswer {
 /// a legitimate `t = 0` (the virtual epoch) stays representable.
 const NO_TIMESTAMP: u64 = u64::MAX;
 
+/// Sentinel for "no lineage" in the dense lineage table — no real
+/// measurement ever carries `shard = u32::MAX`.
+const NO_LINEAGE: Lineage = Lineage {
+    shard: u32::MAX,
+    round: u64::MAX,
+};
+
 /// One immutable generation of the served dataset.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
@@ -190,6 +221,10 @@ pub struct Snapshot {
     /// Dense `n × n` measurement instants mirroring the view's layout;
     /// `None` for sources without timestamps.
     measured_at_ns: Option<Vec<u64>>,
+    /// Dense `n × n` per-pair provenance mirroring the view's layout;
+    /// `None` for sources without lineage (bare matrices, TSVs, v1
+    /// documents).
+    lineage: Option<Vec<Lineage>>,
     meta: SnapshotMeta,
 }
 
@@ -203,6 +238,7 @@ impl Snapshot {
         Snapshot {
             view,
             measured_at_ns: None,
+            lineage: None,
             meta: SnapshotMeta {
                 version: 0,
                 source: SnapshotSource::Matrix,
@@ -250,6 +286,17 @@ impl Snapshot {
         snap.measured_at_ns = Some(table);
         snap.meta.oldest_ns = oldest;
         snap.meta.newest_ns = newest;
+        if !doc.lineage.is_empty() {
+            let mut table = vec![NO_LINEAGE; n * n];
+            for (&(a, b), &l) in &doc.lineage {
+                let (Some(i), Some(j)) = (snap.view.index_of(a), snap.view.index_of(b)) else {
+                    continue;
+                };
+                table[i as usize * n + j as usize] = l;
+                table[j as usize * n + i as usize] = l;
+            }
+            snap.lineage = Some(table);
+        }
         Ok(snap)
     }
 
@@ -298,6 +345,24 @@ impl Snapshot {
         }
     }
 
+    /// The pair's provenance, in index space.
+    fn lineage_idx(&self, i: u32, j: u32) -> Option<Lineage> {
+        let t = self.lineage.as_deref()?;
+        let l = t[i as usize * self.view.len() + j as usize];
+        if l == NO_LINEAGE {
+            None
+        } else {
+            Some(l)
+        }
+    }
+
+    /// The pair's full origin triple: lineage plus the generation this
+    /// snapshot serves it under.
+    fn origin_idx(&self, i: u32, j: u32) -> Option<Origin> {
+        self.lineage_idx(i, j)
+            .map(|l| Origin::of(l, self.meta.version))
+    }
+
     /// Point lookup `R(x, y)` with freshness metadata.
     #[inline]
     pub fn rtt(&self, x: NodeId, y: NodeId) -> Result<PointAnswer, QueryError> {
@@ -310,13 +375,14 @@ impl Snapshot {
             measured_at_ns,
             age_ns,
             snapshot_version: self.meta.version,
+            origin: self.origin_idx(i, j),
         })
     }
 
     /// The `k` relays nearest to `x` (measured pairs only, `x` itself
     /// excluded), ascending by RTT with index order breaking ties —
     /// fully deterministic for a given snapshot.
-    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<Vec<Neighbor>, QueryError> {
+    pub fn k_nearest(&self, x: NodeId, k: usize) -> Result<KNearestAnswer, QueryError> {
         let i = self.resolve(x)?;
         let row = self.view.row(i);
         let mut candidates: Vec<(f64, u32)> = row
@@ -327,13 +393,28 @@ impl Snapshot {
             .collect();
         candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         candidates.truncate(k);
-        Ok(candidates
-            .into_iter()
-            .map(|(rtt_ms, v)| Neighbor {
-                node: self.view.node(v),
-                rtt_ms,
-            })
-            .collect())
+        // The answer's origin is its weakest link: the *stalest*
+        // contributing pair, first-in-order breaking timestamp ties.
+        let mut stalest: Option<(u64, u32)> = None;
+        for &(_, v) in &candidates {
+            if let Some(t) = self.timestamp_idx(i, v) {
+                if stalest.is_none_or(|(best, _)| t < best) {
+                    stalest = Some((t, v));
+                }
+            }
+        }
+        let origin = stalest.and_then(|(_, v)| self.origin_idx(i, v));
+        Ok(KNearestAnswer {
+            neighbors: candidates
+                .into_iter()
+                .map(|(rtt_ms, v)| Neighbor {
+                    node: self.view.node(v),
+                    rtt_ms,
+                })
+                .collect(),
+            origin,
+            snapshot_version: self.meta.version,
+        })
     }
 
     /// ShorTor-style detour search: the via relay minimizing
@@ -343,12 +424,15 @@ impl Snapshot {
         let best = self.view.best_detour(i, j);
         // A detour is only as fresh as its stalest leg: cite the older
         // of the two leg instants so TTL policy applies to detours.
-        let measured_at_ns = match &best {
+        // `cited` is the pair whose provenance the answer reports: the
+        // older leg of a detour, or the direct pair when no via exists.
+        let (measured_at_ns, cited) = match &best {
             Some(b) => match (self.timestamp_idx(i, b.via), self.timestamp_idx(b.via, j)) {
-                (Some(p), Some(q)) => Some(p.min(q)),
-                _ => None,
+                (Some(p), Some(q)) if p <= q => (Some(p), Some((i, b.via))),
+                (Some(_), Some(q)) => (Some(q), Some((b.via, j))),
+                _ => (None, None),
             },
-            None => self.timestamp_idx(i, j),
+            None => (self.timestamp_idx(i, j), Some((i, j))),
         };
         let via = best.map(|best| Neighbor {
             node: self.view.node(best.via),
@@ -362,6 +446,7 @@ impl Snapshot {
             measured_at_ns,
             age_ns: self.age_of(measured_at_ns),
             snapshot_version: self.meta.version,
+            origin: cited.and_then(|(p, q)| self.origin_idx(p, q)),
         })
     }
 }
@@ -418,7 +503,7 @@ mod tests {
         let near = s.k_nearest(NodeId(1), 10).unwrap();
         // Node 4 is unmeasured from 1; node 1 itself excluded.
         assert_eq!(
-            near,
+            near.neighbors,
             vec![
                 Neighbor {
                     node: NodeId(2),
@@ -430,8 +515,9 @@ mod tests {
                 },
             ]
         );
-        assert_eq!(s.k_nearest(NodeId(1), 1).unwrap().len(), 1);
-        assert_eq!(s.k_nearest(NodeId(4), 5).unwrap(), vec![]);
+        assert_eq!(near.origin, None, "matrix sources carry no lineage");
+        assert_eq!(s.k_nearest(NodeId(1), 1).unwrap().neighbors.len(), 1);
+        assert_eq!(s.k_nearest(NodeId(4), 5).unwrap().neighbors, vec![]);
         assert!(s.k_nearest(NodeId(9), 1).is_err());
     }
 
@@ -441,7 +527,7 @@ mod tests {
         m.set(NodeId(5), NodeId(6), 4.0);
         m.set(NodeId(5), NodeId(7), 4.0);
         let s = Snapshot::from_matrix(&m);
-        let near = s.k_nearest(NodeId(5), 2).unwrap();
+        let near = s.k_nearest(NodeId(5), 2).unwrap().neighbors;
         assert_eq!(near[0].node, NodeId(6));
         assert_eq!(near[1].node, NodeId(7));
     }
@@ -483,9 +569,14 @@ mod tests {
         measured_at.insert((NodeId(0), NodeId(1)), SimTime(5_000));
         measured_at.insert((NodeId(0), NodeId(2)), SimTime(1_000));
         measured_at.insert((NodeId(1), NodeId(2)), SimTime(4_000));
+        let mut lineage = HashMap::new();
+        lineage.insert((NodeId(0), NodeId(1)), Lineage { shard: 0, round: 5 });
+        lineage.insert((NodeId(0), NodeId(2)), Lineage { shard: 1, round: 2 });
+        lineage.insert((NodeId(1), NodeId(2)), Lineage { shard: 2, round: 4 });
         let doc = MergeOutcome {
             matrix: m,
             measured_at,
+            lineage,
             shards: vec![],
             now: SimTime(10_000),
         }
@@ -498,15 +589,36 @@ mod tests {
         // fresh as its *stalest* leg — the min, never the max.
         assert_eq!(d.measured_at_ns, Some(1_000));
         assert_eq!(d.age_ns, Some(9_000));
+        // The origin cites that same older leg's probe.
+        assert_eq!(
+            d.origin,
+            Some(Origin {
+                shard: 1,
+                round: 2,
+                generation: s.meta().version,
+            })
+        );
+        // A point answer cites its own pair's probe.
+        let p = s.rtt(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(p.origin.unwrap().shard, 0);
+        assert_eq!(p.origin.unwrap().round, 5);
+        // k-nearest cites the stalest contributing pair: from 0 the
+        // neighbors are 2 (@1000) and 1 (@5000) — (0,2) is older.
+        let near = s.k_nearest(NodeId(0), 2).unwrap();
+        assert_eq!(near.origin.unwrap().shard, 1);
+        assert_eq!(near.origin.unwrap().round, 2);
 
         // With no candidate via relay the answer cites the direct pair.
         let mut m = RttMatrix::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
         m.set(NodeId(0), NodeId(1), 50.0);
         let mut measured_at = HashMap::new();
         measured_at.insert((NodeId(0), NodeId(1)), SimTime(7_000));
+        let mut lineage = HashMap::new();
+        lineage.insert((NodeId(0), NodeId(1)), Lineage { shard: 3, round: 9 });
         let doc = MergeOutcome {
             matrix: m,
             measured_at,
+            lineage,
             shards: vec![],
             now: SimTime(10_000),
         }
@@ -516,12 +628,15 @@ mod tests {
         assert_eq!(d.via, None);
         assert_eq!(d.measured_at_ns, Some(7_000));
         assert_eq!(d.age_ns, Some(3_000));
+        assert_eq!(d.origin.unwrap().shard, 3);
+        assert_eq!(d.origin.unwrap().round, 9);
 
         // Timestamp-free sources stay `None` all the way through.
         let d = Snapshot::from_matrix(&matrix())
             .best_via(NodeId(1), NodeId(2))
             .unwrap();
         assert_eq!((d.measured_at_ns, d.age_ns), (None, None));
+        assert_eq!(d.origin, None);
     }
 
     #[test]

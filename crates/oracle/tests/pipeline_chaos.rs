@@ -11,8 +11,8 @@ use netsim::{NodeId, SimDuration, SimTime};
 use oracle::journal::{frame_record, render_published, Journal};
 use oracle::{Pipeline, PipelineConfig, QueryError, ServingState, TtlPolicy};
 use std::path::PathBuf;
-use ting::obs::Obs;
-use ting::shard::{MergeDelta, Supervisor, SupervisorConfig};
+use ting::obs::{Lineage, Obs};
+use ting::shard::{DeltaPair, MergeDelta, Supervisor, SupervisorConfig};
 use ting::{checkpoint, ScannerConfig, TingConfig};
 use tor_sim::TorNetworkBuilder;
 
@@ -33,6 +33,7 @@ fn pipeline_config() -> PipelineConfig {
         // rows drift from an offline merge.
         staleness: ScannerConfig::default().staleness,
         ttl: TtlPolicy::new(SimDuration::from_hours(1), SimDuration::from_hours(24)).unwrap(),
+        slo: None,
     }
 }
 
@@ -282,7 +283,13 @@ fn hard_ttl_expiry_flips_serving_deterministically_in_virtual_time() {
         let revive_at = SimTime(newest + hard + 1);
         p.offer(MergeDelta {
             seq: deltas.len() as u64 + 1,
-            pairs: vec![(a, b, 12.5, revive_at)],
+            pairs: vec![DeltaPair {
+                a,
+                b,
+                rtt_ms: 12.5,
+                measured_at: revive_at,
+                lineage: Lineage { shard: 0, round: 9 },
+            }],
             statuses: vec!["live"; SHARDS],
             now: revive_at,
         });

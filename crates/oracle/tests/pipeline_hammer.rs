@@ -13,7 +13,8 @@ use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
-use ting::shard::MergeDelta;
+use ting::obs::Lineage;
+use ting::shard::{DeltaPair, MergeDelta};
 
 const ROUNDS: u64 = 200;
 const READERS: usize = 4;
@@ -32,6 +33,7 @@ fn config() -> PipelineConfig {
         publish_interval: SimDuration(0),
         staleness: SimDuration::from_hours(24),
         ttl: TtlPolicy::new(SimDuration::from_hours(1), SimDuration::from_hours(24)).unwrap(),
+        slo: None,
     }
 }
 
@@ -46,7 +48,16 @@ fn delta(seq: u64) -> MergeDelta {
     let b = NodeId((seq % 5) as u32 + 1);
     MergeDelta {
         seq,
-        pairs: vec![(a, b, 1.0 + seq as f64, SimTime(seq * 1_000))],
+        pairs: vec![DeltaPair {
+            a,
+            b,
+            rtt_ms: 1.0 + seq as f64,
+            measured_at: SimTime(seq * 1_000),
+            lineage: Lineage {
+                shard: 0,
+                round: seq,
+            },
+        }],
         statuses: vec!["live"],
         now: SimTime(seq * 1_000),
     }

@@ -1,0 +1,212 @@
+//! The TTL ladder's boundary instants driven against the staleness
+//! SLO window: each `tick` re-judges the dataset's age *and* feeds the
+//! verdict into the windowed burn-rate engine, so the exact instants
+//! where `TtlPolicy::judge` flips states are also the instants where
+//! budget burn accrues. These tests pin the full deterministic
+//! transition sequence — ladder states at the inclusive boundaries,
+//! the breach window the burn opens, and the rotation that closes it.
+
+use netsim::{NodeId, SimDuration, SimTime};
+use obs::slo::SLO_STALENESS;
+use obs::{config_hash, names, ExportMeta, Lineage, Obs, ObsConfig, Value};
+use oracle::{Pipeline, PipelineConfig, ServingState, SloConfig, TtlPolicy};
+use ting::shard::{DeltaPair, MergeDelta};
+
+const SOFT_S: u64 = 10;
+const HARD_S: u64 = 100;
+
+fn secs(s: u64) -> SimTime {
+    SimTime(SimDuration::from_secs(s).as_nanos())
+}
+
+/// Soft 10s / hard 100s ladder over a 10×10s SLO window: one judgment
+/// per bucket, so window rotation and TTL boundaries interact on the
+/// same clock.
+fn config(staleness_objective_ppm: u32) -> PipelineConfig {
+    PipelineConfig {
+        queue_cap: 4,
+        publish_interval: SimDuration(0),
+        staleness: SimDuration::from_secs(HARD_S),
+        ttl: TtlPolicy::new(
+            SimDuration::from_secs(SOFT_S),
+            SimDuration::from_secs(HARD_S),
+        )
+        .unwrap(),
+        slo: Some(SloConfig {
+            bucket: SimDuration::from_secs(SOFT_S),
+            buckets: 10,
+            coverage_objective_ppm: 0,
+            progress_objective_ppm: 0,
+            latency_budget: SimDuration::from_secs(HARD_S),
+            latency_objective_ppm: 0,
+            staleness_objective_ppm,
+            burn_threshold_milli: 1000,
+        }),
+    }
+}
+
+fn nodes() -> Vec<NodeId> {
+    (0..4).map(NodeId).collect()
+}
+
+fn delta(seq: u64, at: SimTime) -> MergeDelta {
+    MergeDelta {
+        seq,
+        pairs: vec![DeltaPair {
+            a: NodeId(0),
+            b: NodeId(1),
+            rtt_ms: 5.0,
+            measured_at: at,
+            lineage: Lineage {
+                shard: 0,
+                round: seq,
+            },
+        }],
+        statuses: vec!["live"],
+        now: at,
+    }
+}
+
+/// Ladder states at the inclusive boundary instants, with each
+/// judgment feeding the staleness window: `soft` and `hard` flip on
+/// the boundary itself (age ≥ ttl), one nanosecond earlier does not.
+#[test]
+fn boundary_instants_flip_states_and_accrue_burn() {
+    // Objective 40%: breach once more than 60% of windowed judgments
+    // land off-Fresh.
+    let mut p = Pipeline::new(nodes(), 1, config(400_000));
+    p.offer(delta(1, secs(0)));
+    p.tick(secs(0)).unwrap();
+    assert_eq!(p.state(), ServingState::Fresh);
+    let t = p.slo_totals(SLO_STALENESS).unwrap();
+    assert_eq!((t.good, t.bad, t.breaching), (1, 0, false));
+
+    // One nanosecond shy of the soft TTL: still Fresh.
+    p.tick(SimTime(secs(SOFT_S).as_nanos() - 1)).unwrap();
+    assert_eq!(p.state(), ServingState::Fresh);
+
+    // Exactly the soft boundary: age == soft_ttl is Stale, and the
+    // judgment burns budget.
+    p.tick(secs(SOFT_S)).unwrap();
+    assert_eq!(p.state(), ServingState::Stale);
+    let t = p.slo_totals(SLO_STALENESS).unwrap();
+    assert_eq!((t.good, t.bad, t.breaching), (2, 1, false));
+
+    // One nanosecond shy of the hard TTL: still Stale (and still
+    // under the 60% bad threshold: 2 bad of 4).
+    p.tick(SimTime(secs(HARD_S).as_nanos() - 1)).unwrap();
+    assert_eq!(p.state(), ServingState::Stale);
+    let t = p.slo_totals(SLO_STALENESS).unwrap();
+    assert_eq!((t.good, t.bad, t.breaching), (2, 2, false));
+
+    // Exactly the hard boundary: Degraded. The window also rotates —
+    // both good judgments (t=0 and t=soft−1ns) sat in bucket 0, now
+    // ten buckets back — so only the bad judgments remain and the
+    // breach begins.
+    p.tick(secs(HARD_S)).unwrap();
+    assert_eq!(p.state(), ServingState::Degraded);
+    let t = p.slo_totals(SLO_STALENESS).unwrap();
+    assert_eq!((t.good, t.bad, t.breaching), (0, 3, true));
+
+    // Fresh data a full window later: every burnt bucket has rotated
+    // out, the ladder re-judges Fresh, and the breach closes.
+    p.offer(delta(2, secs(2 * HARD_S)));
+    p.tick(secs(2 * HARD_S)).unwrap();
+    assert_eq!(p.state(), ServingState::Fresh);
+    let t = p.slo_totals(SLO_STALENESS).unwrap();
+    assert_eq!((t.good, t.bad, t.breaching), (1, 0, false));
+}
+
+/// A dataset with no timestamps at all — the clockless bootstrap —
+/// judges Degraded from the first tick, and every judgment burns.
+#[test]
+fn clockless_bootstrap_burns_from_the_first_judgment() {
+    let mut p = Pipeline::new(nodes(), 1, config(990_000));
+    assert_eq!(p.state(), ServingState::Degraded);
+    p.tick(secs(1)).unwrap();
+    let t = p.slo_totals(SLO_STALENESS).unwrap();
+    // 1 bad of 1 total blows a 1% budget instantly.
+    assert_eq!((t.good, t.bad, t.breaching), (0, 1, true));
+}
+
+/// The full event-level pin: the exact `(from, to, t_ns)` transition
+/// sequence and the breach window the walk opens and closes, as seen
+/// by `ting-prof` on the exported trace.
+#[test]
+fn transition_and_breach_sequences_are_pinned() {
+    let obs = Obs::new(ObsConfig::Trace);
+    let mut p = Pipeline::with_obs(nodes(), 1, config(400_000), obs.clone(), None);
+    p.offer(delta(1, secs(0)));
+    p.tick(secs(0)).unwrap();
+    p.tick(SimTime(secs(SOFT_S).as_nanos() - 1)).unwrap();
+    p.tick(secs(SOFT_S)).unwrap();
+    p.tick(SimTime(secs(HARD_S).as_nanos() - 1)).unwrap();
+    p.tick(secs(HARD_S)).unwrap();
+    p.offer(delta(2, secs(2 * HARD_S)));
+    p.tick(secs(2 * HARD_S)).unwrap();
+
+    let text = obs.export_jsonl(&ExportMeta {
+        seed: 1,
+        config_hash: config_hash("slo-ttl-v1"),
+    });
+    let doc = obs_analyze::parse_document(&text).unwrap();
+
+    let field_str = |ev: &obs::EventRecord, key: &str| -> String {
+        ev.fields
+            .iter()
+            .find_map(|(k, v)| match (k.as_str(), v) {
+                (k2, Value::Str(s)) if k2 == key => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap()
+    };
+    let transitions: Vec<(String, String, u64)> = doc
+        .events
+        .iter()
+        .filter(|ev| ev.name == names::ORACLE_STALE_TRANSITION)
+        .map(|ev| (field_str(ev, "from"), field_str(ev, "to"), ev.t_ns))
+        .collect();
+    let owned = |s: &str| s.to_owned();
+    assert_eq!(
+        transitions,
+        vec![
+            (owned("degraded"), owned("fresh"), secs(0).as_nanos()),
+            (owned("fresh"), owned("stale"), secs(SOFT_S).as_nanos()),
+            (owned("stale"), owned("degraded"), secs(HARD_S).as_nanos()),
+            (
+                owned("degraded"),
+                owned("fresh"),
+                secs(2 * HARD_S).as_nanos()
+            ),
+        ],
+        "the ladder walk must transition exactly at the boundaries"
+    );
+
+    let windows = obs_analyze::breaches(&doc);
+    assert_eq!(windows.len(), 1, "{windows:?}");
+    assert_eq!(windows[0].slo, "staleness");
+    assert_eq!(windows[0].begin_ns, secs(HARD_S).as_nanos());
+    assert_eq!(windows[0].end_ns, Some(secs(2 * HARD_S).as_nanos()));
+}
+
+/// Republishing unchanged data must not reset the staleness clock:
+/// a status-only generation still judges against the newest probe.
+#[test]
+fn status_only_republish_does_not_reset_the_clock() {
+    let mut p = Pipeline::new(nodes(), 1, config(400_000));
+    p.offer(delta(1, secs(0)));
+    p.tick(secs(0)).unwrap();
+
+    // An empty delta past the soft TTL: a new generation publishes,
+    // but the dataset's newest measurement is still t=0 — Stale.
+    p.offer(MergeDelta {
+        seq: 2,
+        pairs: vec![],
+        statuses: vec!["live"],
+        now: secs(SOFT_S),
+    });
+    p.tick(secs(SOFT_S)).unwrap();
+    assert_eq!(p.state(), ServingState::Stale);
+    let t = p.slo_totals(SLO_STALENESS).unwrap();
+    assert_eq!((t.good, t.bad), (1, 1));
+}
